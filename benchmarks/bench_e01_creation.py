@@ -1,0 +1,10 @@
+"""Benchmark E1: fork vs sproc vs thread creation latency (paper section 7 and the Mach 10x quote in section 3)."""
+
+from repro.bench.experiments import run_e01
+
+from conftest import drive
+
+
+def test_e01_creation(benchmark):
+    """fork vs sproc vs thread creation latency (paper section 7 and the Mach 10x quote in section 3)"""
+    drive(benchmark, run_e01)

@@ -1,0 +1,10 @@
+"""Benchmark E2: share-group support adds nothing to normal processes (design goal 4, section 7)."""
+
+from repro.bench.experiments import run_e02
+
+from conftest import drive
+
+
+def test_e02_no_penalty(benchmark):
+    """share-group support adds nothing to normal processes (design goal 4, section 7)"""
+    drive(benchmark, run_e02)

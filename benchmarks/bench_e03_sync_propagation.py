@@ -1,0 +1,10 @@
+"""Benchmark E3: non-VM resource update propagation cost vs group size (section 6.3)."""
+
+from repro.bench.experiments import run_e03
+
+from conftest import drive
+
+
+def test_e03_sync_propagation(benchmark):
+    """non-VM resource update propagation cost vs group size (section 6.3)"""
+    drive(benchmark, run_e03)

@@ -1,0 +1,10 @@
+"""Benchmark E4: concurrent page faults under the shared read lock vs an exclusive-lock ablation (section 6.2)."""
+
+from repro.bench.experiments import run_e04
+
+from conftest import drive
+
+
+def test_e04_sharedlock(benchmark):
+    """concurrent page faults under the shared read lock vs an exclusive-lock ablation (section 6.2)"""
+    drive(benchmark, run_e04)

@@ -1,0 +1,10 @@
+"""Benchmark E5: VM ops in a share group: only shrink/detach pays the all-CPU TLB shootdown (sections 6.2, 7)."""
+
+from repro.bench.experiments import run_e05
+
+from conftest import drive
+
+
+def test_e05_shootdown(benchmark):
+    """VM ops in a share group: only shrink/detach pays the all-CPU TLB shootdown (sections 6.2, 7)"""
+    drive(benchmark, run_e05)

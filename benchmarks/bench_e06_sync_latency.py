@@ -1,0 +1,10 @@
+"""Benchmark E6: synchronization handoff latency: busy-wait vs kernel mechanisms (section 3)."""
+
+from repro.bench.experiments import run_e06
+
+from conftest import drive
+
+
+def test_e06_sync_latency(benchmark):
+    """synchronization handoff latency: busy-wait vs kernel mechanisms (section 3)"""
+    drive(benchmark, run_e06)

@@ -1,0 +1,10 @@
+"""Benchmark E7: producer/consumer bandwidth by mechanism and transfer size (section 3)."""
+
+from repro.bench.experiments import run_e07
+
+from conftest import drive
+
+
+def test_e07_bandwidth(benchmark):
+    """producer/consumer bandwidth by mechanism and transfer size (section 3)"""
+    drive(benchmark, run_e07)

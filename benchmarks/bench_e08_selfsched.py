@@ -1,0 +1,10 @@
+"""Benchmark E8: self-scheduling worker pools vs dynamic per-task creation (section 3)."""
+
+from repro.bench.experiments import run_e08
+
+from conftest import drive
+
+
+def test_e08_selfsched(benchmark):
+    """self-scheduling worker pools vs dynamic per-task creation (section 3)"""
+    drive(benchmark, run_e08)

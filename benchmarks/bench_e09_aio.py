@@ -1,0 +1,10 @@
+"""Benchmark E9: user-level asynchronous I/O via PR_SADDR|PR_SFDS (the section 4 example)."""
+
+from repro.bench.experiments import run_e09
+
+from conftest import drive
+
+
+def test_e09_aio(benchmark):
+    """user-level asynchronous I/O via PR_SADDR|PR_SFDS (the section 4 example)"""
+    drive(benchmark, run_e09)

@@ -1,0 +1,10 @@
+"""Benchmark E10: the five programming models head to head (executable Figures 1-4)."""
+
+from repro.bench.experiments import run_e10
+
+from conftest import drive
+
+
+def test_e10_models(benchmark):
+    """the five programming models head to head (executable Figures 1-4)"""
+    drive(benchmark, run_e10)

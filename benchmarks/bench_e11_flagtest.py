@@ -1,0 +1,10 @@
+"""Benchmark E11: batched p_flag test vs per-resource entry checks (section 6.3 design point)."""
+
+from repro.bench.experiments import run_e11
+
+from conftest import drive
+
+
+def test_e11_flagtest(benchmark):
+    """batched p_flag test vs per-resource entry checks (section 6.3 design point)"""
+    drive(benchmark, run_e11)

@@ -1,0 +1,10 @@
+"""Benchmark E12: gang scheduling the share group (section 8 extension)."""
+
+from repro.bench.experiments import run_e12
+
+from conftest import drive
+
+
+def test_e12_gang(benchmark):
+    """gang scheduling the share group (section 8 extension)"""
+    drive(benchmark, run_e12)

@@ -1,0 +1,12 @@
+"""Benchmark E13 (bonus): shared-ASID context-switch economy inside a
+share group."""
+
+from repro.bench.experiments import run_e13
+
+from conftest import drive
+
+
+def test_e13_asid(benchmark):
+    """Switching between share-group members is cheaper than between
+    unrelated processes: one shared address space means one ASID."""
+    drive(benchmark, run_e13)

@@ -1,0 +1,12 @@
+"""Benchmark E14 (bonus): spin vs spin-then-block locking when the group
+is oversubscribed."""
+
+from repro.bench.experiments import run_e14
+
+from conftest import drive
+
+
+def test_e14_usync(benchmark):
+    """Kernel-assisted blocking (uwait/uwake) beats pure busy-waiting
+    once spinners outnumber processors."""
+    drive(benchmark, run_e14)

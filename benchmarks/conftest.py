@@ -1,0 +1,18 @@
+"""Shared driver for the experiment benchmarks.
+
+Each bench runs one experiment exactly once under pytest-benchmark
+(the simulation is deterministic, so repeated rounds only measure the
+host, not the system under test), checks the paper-shape claims, and
+saves the rendered table under benchmarks/results/.
+"""
+
+import pytest
+
+
+def drive(benchmark, run_experiment, **kwargs):
+    result = benchmark.pedantic(
+        lambda: run_experiment(**kwargs), rounds=1, iterations=1
+    )
+    result.save()
+    result.check()
+    return result

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""The paper's introduction example: a server handing descriptors to
+workers — done the Berkeley way and the share-group way.
+
+"A network server could share file descriptors with several children.
+The server would perform security checks and open a socket descriptor to
+the client, and then pass this descriptor to a waiting child with a
+simple message containing the descriptor."
+
+Variant A (BSD): forked workers connect to the dispatcher over a local
+socket; the dispatcher ``sendfd``'s each accepted client connection to a
+worker.
+
+Variant B (share group): workers are ``sproc``'d with ``PR_SFDS``; the
+dispatcher just ``open``'s the per-client descriptor and posts the *fd
+number* through a shared-memory queue — the descriptor itself is already
+in every worker's table by the time it enters the kernel.
+
+Run:  python examples/descriptor_server.py
+"""
+
+from repro import O_CREAT, O_RDWR, PR_SALL, SEEK_SET, System
+from repro.runtime import WorkQueue
+
+NCLIENTS = 12
+NWORKERS = 3
+
+
+def _make_request_files(api):
+    """Simulate per-client connections as files carrying a request."""
+    for index in range(NCLIENTS):
+        fd = yield from api.open("/req-%d" % index, O_RDWR | O_CREAT)
+        yield from api.write(fd, b"request #%d" % index)
+        yield from api.close(fd)
+
+
+# ----------------------------------------------------------------------
+# Variant A: descriptor passing over sockets (Figure-2 world)
+
+
+def bsd_worker(api, ctx):
+    served = ctx["served"]
+    sock = yield from api.socket()
+    yield from api.connect(sock, "dispatcher")
+    while True:
+        tag = yield from api.recv(sock, 1)
+        if tag != b"F":
+            break  # dispatcher said drain
+        fd = yield from api.recvfd(sock)
+        yield from api.lseek(fd, 0, SEEK_SET)
+        data = yield from api.read(fd, 64)
+        yield from api.close(fd)
+        served.append(bytes(data))
+    return 0
+
+
+def bsd_dispatcher(api, ctx):
+    out = ctx["out"]
+    yield from _make_request_files(api)
+    listener = yield from api.socket()
+    yield from api.bind(listener, "dispatcher")
+    yield from api.listen(listener, NWORKERS)
+    for _ in range(NWORKERS):
+        yield from api.fork(bsd_worker, ctx)
+    conns = []
+    for _ in range(NWORKERS):
+        conn = yield from api.accept(listener)
+        conns.append(conn)
+    start = api.now
+    for index in range(NCLIENTS):
+        # "security check", then open the client's descriptor and pass it
+        fd = yield from api.open("/req-%d" % index, O_RDWR)
+        conn = conns[index % NWORKERS]
+        yield from api.send(conn, b"F")
+        yield from api.sendfd(conn, fd)
+        yield from api.close(fd)
+    for conn in conns:
+        yield from api.send(conn, b"Q")
+    for _ in range(NWORKERS):
+        yield from api.wait()
+    out["cycles"] = api.now - start
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Variant B: share group — descriptors are simply *there*
+
+
+def group_worker(api, ctx):
+    queue_base, served = ctx["queue_base"], ctx["served"]
+    queue = yield from WorkQueue.attach(api, queue_base)
+    while True:
+        fd = yield from queue.pop(api)
+        if fd is None:
+            return 0
+        # The open() that produced this fd happened in the dispatcher;
+        # our table picked it up at kernel entry.  Just use the number.
+        yield from api.lseek(fd, 0, SEEK_SET)
+        data = yield from api.read(fd, 64)
+        served.append(bytes(data))
+
+
+def group_dispatcher(api, ctx):
+    out = ctx["out"]
+    yield from _make_request_files(api)
+    queue = yield from WorkQueue.create(api, NCLIENTS + 4)
+    ctx["queue_base"] = queue.base
+    for _ in range(NWORKERS):
+        yield from api.sproc(group_worker, PR_SALL, ctx)
+    start = api.now
+    for index in range(NCLIENTS):
+        fd = yield from api.open("/req-%d" % index, O_RDWR)
+        yield from queue.push(api, fd)
+    yield from queue.close(api)
+    for _ in range(NWORKERS):
+        yield from api.wait()
+    out["cycles"] = api.now - start
+    return 0
+
+
+if __name__ == "__main__":
+    results = {}
+    for label, main in (("bsd sendfd", bsd_dispatcher), ("share group", group_dispatcher)):
+        out, served = {}, []
+        sim = System(ncpus=4)
+        sim.spawn(main, {"out": out, "served": served})
+        sim.run()
+        expected = {b"request #%d" % i for i in range(NCLIENTS)}
+        assert set(served) == expected, "%s dropped requests: %r" % (label, served)
+        results[label] = out["cycles"]
+
+    print("descriptor hand-off: %d requests to %d workers" % (NCLIENTS, NWORKERS))
+    print("-" * 60)
+    for label, cycles in results.items():
+        print("  %-12s {:>10,} cycles".format(cycles) % label)
+    ratio = results["bsd sendfd"] / results["share group"]
+    print("  share-group dispatch is %.1fx faster: no per-descriptor"
+          " message, no socket round trip — the table is already shared"
+          % ratio)

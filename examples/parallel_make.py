@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""A parallel 'make': dependency-driven builds on a share group.
+
+The introduction's other motivation — "the construction of multiprocess
+applications became necessary both to manage complexity and to allow for
+higher performance" — as a build system: a DAG of targets with
+dependencies, executed by a pool of ``sproc``'d workers.  The ready-queue
+and the per-target dependency counters live in shared memory; a worker
+that finishes a target atomically decrements its dependents' counters
+and pushes newly-ready targets itself — no central coordinator at all.
+
+Run:  python examples/parallel_make.py
+"""
+
+from repro import PR_MAXPPROCS, PR_SALL, System
+from repro.runtime import WorkQueue
+
+# A small software project.  (target, compile-cycles, dependencies)
+PROJECT = [
+    ("util.o", 30_000, []),
+    ("hash.o", 25_000, []),
+    ("list.o", 20_000, []),
+    ("alloc.o", 35_000, ["util.o"]),
+    ("io.o", 30_000, ["util.o", "list.o"]),
+    ("core.o", 45_000, ["hash.o", "alloc.o"]),
+    ("net.o", 40_000, ["io.o", "hash.o"]),
+    ("app", 50_000, ["core.o", "net.o", "io.o"]),
+]
+
+NAMES = [name for name, _, _ in PROJECT]
+INDEX = {name: index for index, name in enumerate(NAMES)}
+COSTS = [cost for _, cost, _ in PROJECT]
+DEPS = [[INDEX[dep] for dep in deps] for _, _, deps in PROJECT]
+DEPENDENTS = [[] for _ in PROJECT]
+for target, deps in enumerate(DEPS):
+    for dep in deps:
+        DEPENDENTS[dep].append(target)
+
+
+def worker(api, ctx):
+    """Pull ready targets; on completion, release dependents."""
+    queue_base, counters, build_log = ctx["queue_base"], ctx["counters"], ctx["log"]
+    queue = yield from WorkQueue.attach(api, queue_base)
+    built = 0
+    while True:
+        target = yield from queue.pop(api)
+        if target is None:
+            return built
+        yield from api.compute(COSTS[target])  # "compile"
+        build_log.append((NAMES[target], api.now))
+        built += 1
+        done = yield from api.fetch_add(counters + 4 * len(PROJECT), 1)
+        for dependent in DEPENDENTS[target]:
+            left = yield from api.fetch_add(counters + 4 * dependent, -1 & 0xFFFFFFFF)
+            if left == 1:  # we removed the last unmet dependency
+                yield from queue.push(api, dependent)
+        if done + 1 == len(PROJECT):
+            yield from queue.close(api)
+
+
+def main(api, ctx):
+    out = ctx["out"]
+    nworkers = yield from api.prctl(PR_MAXPPROCS)
+    queue = yield from WorkQueue.create(api, len(PROJECT) + 4)
+    counters = yield from api.mmap(4096)
+    for target, deps in enumerate(DEPS):
+        yield from api.store_word(counters + 4 * target, len(deps))
+    wctx = {"queue_base": queue.base, "counters": counters, "log": ctx["log"]}
+    start = api.now
+    for _ in range(nworkers):
+        yield from api.sproc(worker, PR_SALL, wctx)
+    for target, deps in enumerate(DEPS):
+        if not deps:
+            yield from queue.push(api, target)
+    built = 0
+    for _ in range(nworkers):
+        from repro import status_code
+
+        _, status = yield from api.wait()
+        built += status_code(status)
+    out["cycles"] = api.now - start
+    out["built"] = built
+    return 0
+
+
+if __name__ == "__main__":
+    serial = sum(COSTS)
+    print("parallel make: %d targets, %s serial cycles of compilation"
+          % (len(PROJECT), "{:,}".format(serial)))
+    print("-" * 64)
+    for ncpus in (1, 2, 4):
+        out, log = {}, []
+        sim = System(ncpus=ncpus)
+        sim.spawn(main, {"out": out, "log": log})
+        sim.run()
+        assert out["built"] == len(PROJECT), "targets missing!"
+        # dependencies must be honored: every target after its deps
+        finished = {name: when for name, when in log}
+        for name, _cost, deps in PROJECT:
+            for dep in deps:
+                assert finished[dep] <= finished[name], (name, dep)
+        print("  %d cpu(s): %10s cycles   speedup %.2fx" % (
+            ncpus, "{:,}".format(out["cycles"]), serial / out["cycles"],
+        ))
+    order = [name for name, _ in sorted(log, key=lambda item: item[1])]
+    print("  last build order: %s" % " -> ".join(order))
+    print("  every target built after all of its dependencies: verified")

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Quickstart: process share groups in five minutes.
+
+Demonstrates the core of the paper's interface on the simulated kernel:
+
+1. ``sproc(entry, shmask, arg)`` creates a share-group member; the mask
+   picks the resources it shares (here: everything, ``PR_SALL``).
+2. The virtual address space is genuinely shared — members increment a
+   counter in an ``mmap``'d page using atomic fetch-and-add.
+3. Open file descriptors propagate: a file opened by one member is
+   usable by another at its next kernel entry.
+4. ``prctl`` reports group facts (member count, CPUs available).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    O_CREAT,
+    O_RDWR,
+    PR_GETNSHARE,
+    PR_MAXPPROCS,
+    PR_SALL,
+    SEEK_SET,
+    System,
+)
+from repro.runtime import USpinLock
+
+
+def worker(api, ctx):
+    """A share-group member: bump the shared counter, then read the
+    descriptor its sibling opened."""
+    counter, report = ctx["counter"], ctx["report"]
+    for _ in range(100):
+        yield from api.fetch_add(counter, 1)
+
+    # Any kernel entry resynchronizes shared resources; getpid will do.
+    yield from api.getpid()
+    fd = ctx["shared_fd"]
+    # A shared descriptor shares its *offset* too (that is the feature:
+    # one member's read advances what the others see), so seek+read is
+    # serialized with a user spinlock, the idiomatic group pattern.
+    lock = USpinLock(ctx["lock"])
+    yield from lock.acquire(api)
+    yield from api.lseek(fd, 0, SEEK_SET)
+    data = yield from api.read(fd, 64)
+    yield from lock.release(api)
+    report.append((api.pid, data))
+    return 0
+
+
+def main(api, ctx):
+    report = ctx["report"]
+
+    # A page of group-shared memory for the counter.
+    counter = yield from api.mmap(4096)
+    ctx["counter"] = counter
+    ctx["lock"] = counter + 64
+
+    # Open a file *before* spawning: the members inherit it.
+    fd = yield from api.open("/motd", O_RDWR | O_CREAT)
+    yield from api.write(fd, b"hello from the share group")
+    ctx["shared_fd"] = fd
+
+    ncpus = yield from api.prctl(PR_MAXPPROCS)
+    report.append(("cpus", ncpus))
+
+    pids = []
+    for _ in range(4):
+        pid = yield from api.sproc(worker, PR_SALL, ctx)
+        pids.append(pid)
+    report.append(("members", (yield from api.prctl(PR_GETNSHARE))))
+
+    for _ in pids:
+        yield from api.wait()
+
+    total = yield from api.load_word(counter)
+    report.append(("counter", total))
+    return 0
+
+
+if __name__ == "__main__":
+    report = []
+    sim = System(ncpus=4)
+    sim.spawn(main, {"report": report})
+    cycles = sim.run()
+
+    print("quickstart: share groups on a %d-CPU simulated machine" % 4)
+    print("-" * 60)
+    for key, value in report:
+        print("  %-10s %r" % (key, value))
+    print("-" * 60)
+    print("  simulated cycles: {:,}".format(cycles))
+    print("  kernel stats: sprocs=%d groups=%d syscalls=%d" % (
+        sim.stats["sprocs"], sim.stats["groups_created"], sim.stats["syscalls"],
+    ))
+    assert dict(report)["counter"] == 400, "lost updates?!"
+    print("  OK: 4 members x 100 atomic increments == 400")

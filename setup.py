@@ -1,0 +1,9 @@
+"""Shim so editable installs work without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` in offline environments.
+"""
+
+from setuptools import setup
+
+setup()

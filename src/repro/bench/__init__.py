@@ -1,0 +1,6 @@
+"""Benchmark harness and the twelve paper-reproduction experiments."""
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+from repro.bench.harness import Claim, ExperimentResult, mean, ratio
+
+__all__ = ["ALL_EXPERIMENTS", "Claim", "ExperimentResult", "mean", "ratio"]

@@ -1,0 +1,46 @@
+"""Run the paper-reproduction experiments from the command line.
+
+    python -m repro.bench            # run everything
+    python -m repro.bench E1 E6      # run a subset
+    python -m repro.bench --list     # show what exists
+
+Each experiment prints its table and claim results; a non-zero exit code
+means some claim failed.  Tables are also written to benchmarks/results/.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv) -> int:
+    args = [arg.upper() for arg in argv[1:]]
+    if "--LIST" in args or "-L" in args:
+        for eid, func in ALL_EXPERIMENTS.items():
+            doc = (func.__doc__ or "").strip().splitlines()
+            print("%-4s %s" % (eid, doc[0] if doc else func.__name__))
+        return 0
+    chosen = args or list(ALL_EXPERIMENTS)
+    unknown = [eid for eid in chosen if eid not in ALL_EXPERIMENTS]
+    if unknown:
+        print("unknown experiment(s): %s" % ", ".join(unknown))
+        print("available: %s" % ", ".join(ALL_EXPERIMENTS))
+        return 2
+    failures = 0
+    for eid in chosen:
+        result = ALL_EXPERIMENTS[eid]()
+        result.save()
+        bad = [claim for claim in result.claims if not claim.holds]
+        if bad:
+            failures += len(bad)
+    if failures:
+        print("%d claim(s) FAILED" % failures)
+        return 1
+    print("all claims hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,46 @@
+"""Filesystem substrate: inodes, open files, descriptor tables, pipes."""
+
+from repro.fs.fdtable import NOFILE, FDTable
+from repro.fs.file import (
+    File,
+    O_ACCMODE,
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_NDELAY,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+)
+from repro.fs.fsys import Credentials, FileSystem
+from repro.fs.inode import Inode, InodeType
+from repro.fs.pipe import PIPE_BUF, BrokenPipe, Pipe
+
+__all__ = [
+    "BrokenPipe",
+    "Credentials",
+    "FDTable",
+    "File",
+    "FileSystem",
+    "Inode",
+    "InodeType",
+    "NOFILE",
+    "O_ACCMODE",
+    "O_APPEND",
+    "O_CREAT",
+    "O_EXCL",
+    "O_NDELAY",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+    "PIPE_BUF",
+    "Pipe",
+    "SEEK_CUR",
+    "SEEK_END",
+    "SEEK_SET",
+]

@@ -1,0 +1,188 @@
+"""The in-memory filesystem and ``namei`` path resolution.
+
+Path walks honor the caller's current directory, its root directory
+(``chroot`` confinement — the share group can retarget both for every
+member at once, one of the paper's motivating conveniences), and classic
+permission checks against the caller's effective uid/gid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import (
+    EEXIST,
+    EINVAL,
+    ENAMETOOLONG,
+    ENOENT,
+    SysError,
+)
+from repro.fs.inode import IEXEC, IWRITE, Inode, InodeType
+
+MAX_PATH = 1024
+MAX_COMPONENT = 255
+
+
+class Credentials:
+    """Effective identity used for permission checks during a walk."""
+
+    __slots__ = ("uid", "gid")
+
+    def __init__(self, uid: int = 0, gid: int = 0):
+        self.uid = uid
+        self.gid = gid
+
+
+class FileSystem:
+    """A single rooted, in-memory filesystem."""
+
+    def __init__(self):
+        self.root = Inode(InodeType.DIR, mode=0o755)
+        self.root.nlink = 1
+        self.root.hold()  # the filesystem itself keeps the root live
+        self._parents = {self.root.ino: self.root}
+
+    # ------------------------------------------------------------------
+    # path resolution
+
+    def namei(
+        self,
+        path: str,
+        cdir: Inode,
+        rdir: Optional[Inode] = None,
+        cred: Optional[Credentials] = None,
+    ) -> Inode:
+        """Resolve ``path`` to an inode or raise ``ENOENT``/``ENOTDIR``."""
+        parent, name = self._walk(path, cdir, rdir, cred)
+        if name is None:
+            return parent
+        target = parent.dir_lookup(name)
+        if target is None:
+            raise SysError(ENOENT, path)
+        return target
+
+    def namei_parent(
+        self,
+        path: str,
+        cdir: Inode,
+        rdir: Optional[Inode] = None,
+        cred: Optional[Credentials] = None,
+    ) -> Tuple[Inode, str]:
+        """Resolve to (parent directory, final component) for create paths."""
+        parent, name = self._walk(path, cdir, rdir, cred)
+        if name is None:
+            raise SysError(EINVAL, "path names a directory root")
+        return parent, name
+
+    def _walk(
+        self,
+        path: str,
+        cdir: Inode,
+        rdir: Optional[Inode],
+        cred: Optional[Credentials],
+    ) -> Tuple[Inode, Optional[str]]:
+        if not path:
+            raise SysError(ENOENT, "empty path")
+        if len(path) > MAX_PATH:
+            raise SysError(ENAMETOOLONG, path[:32] + "...")
+        root = rdir if rdir is not None else self.root
+        node = root if path.startswith("/") else cdir
+        parts = [part for part in path.split("/") if part]
+        if not parts:
+            return node, None
+        for part in parts[:-1]:
+            node = self._step(node, part, root, cred)
+            node.require_dir()
+        last = parts[-1]
+        if len(last) > MAX_COMPONENT:
+            raise SysError(ENAMETOOLONG, last[:32] + "...")
+        if last in (".", ".."):
+            return self._step(node, last, root, cred), None
+        node.require_dir()
+        self._may_search(node, cred)
+        return node, last
+
+    def _step(self, node: Inode, part: str, root: Inode, cred) -> Inode:
+        if len(part) > MAX_COMPONENT:
+            raise SysError(ENAMETOOLONG, part[:32] + "...")
+        node.require_dir()
+        self._may_search(node, cred)
+        if part == ".":
+            return node
+        if part == "..":
+            if node is root:
+                return node  # chroot barrier: cannot climb above the root
+            return self._parents.get(node.ino, root)
+        child = node.dir_lookup(part)
+        if child is None:
+            raise SysError(ENOENT, part)
+        return child
+
+    @staticmethod
+    def _may_search(node: Inode, cred: Optional[Credentials]) -> None:
+        if cred is not None:
+            node.access(cred.uid, cred.gid, IEXEC)
+
+    # ------------------------------------------------------------------
+    # namespace mutation (single-threaded inside kernel syscalls)
+
+    def create(
+        self,
+        parent: Inode,
+        name: str,
+        itype: InodeType,
+        mode: int,
+        cred: Optional[Credentials] = None,
+    ) -> Inode:
+        parent.require_dir()
+        if cred is not None:
+            parent.access(cred.uid, cred.gid, IWRITE)
+        if parent.dir_lookup(name) is not None:
+            raise SysError(EEXIST, name)
+        node = Inode(
+            itype,
+            mode=mode,
+            uid=cred.uid if cred else 0,
+            gid=cred.gid if cred else 0,
+        )
+        parent.dir_add(name, node)
+        if itype is InodeType.DIR:
+            self._parents[node.ino] = parent
+        return node
+
+    def unlink(self, parent: Inode, name: str, cred=None) -> None:
+        parent.require_dir()
+        if cred is not None:
+            parent.access(cred.uid, cred.gid, IWRITE)
+        node = parent.dir_lookup(name)
+        if node is None:
+            raise SysError(ENOENT, name)
+        if node.itype is InodeType.DIR:
+            node.dir_empty()
+            self._parents.pop(node.ino, None)
+        parent.dir_remove(name)
+
+    def mkdir_p(self, path: str, mode: int = 0o755) -> Inode:
+        """Host-side helper: build a directory path from the real root."""
+        node = self.root
+        for part in [p for p in path.split("/") if p]:
+            child = node.dir_lookup(part)
+            if child is None:
+                child = self.create(node, part, InodeType.DIR, mode)
+            child.require_dir()
+            node = child
+        return node
+
+    def add_file(self, path: str, contents: bytes = b"", mode: int = 0o644) -> Inode:
+        """Host-side helper: create a regular file with initial contents."""
+        directory, _, name = path.rpartition("/")
+        parent = self.mkdir_p(directory) if directory else self.root
+        node = self.create(parent, name, InodeType.REG, mode)
+        node.data[:] = contents
+        return node
+
+    def add_program(self, path: str, program_name: str, mode: int = 0o755) -> Inode:
+        """Host-side helper: an executable whose image is a registered program."""
+        node = self.add_file(path, b"#!program\n", mode)
+        node.program = program_name
+        return node

@@ -1,0 +1,151 @@
+"""In-core inodes for the simulated filesystem.
+
+The filesystem is entirely in-memory but keeps the structure the kernel
+cares about: reference-counted inodes, directory entries, link counts,
+and owner/mode bits for permission checks.  Share groups hold extra
+references on the current/root directory inodes from the shared address
+block (paper section 6.3), which these counts make safe.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.errors import EACCES, EISDIR, ENOTDIR, ENOTEMPTY, SimulationError, SysError
+
+
+class InodeType(enum.Enum):
+    REG = "reg"
+    DIR = "dir"
+    FIFO = "fifo"
+    CHR = "chr"
+
+
+#: permission bits
+IREAD = 0o4
+IWRITE = 0o2
+IEXEC = 0o1
+
+
+class Inode:
+    """One filesystem object."""
+
+    _next_ino = 0
+
+    def __init__(
+        self,
+        itype: InodeType,
+        mode: int = 0o644,
+        uid: int = 0,
+        gid: int = 0,
+    ):
+        Inode._next_ino += 1
+        self.ino = Inode._next_ino
+        self.itype = itype
+        self.mode = mode
+        self.uid = uid
+        self.gid = gid
+        self.nlink = 0  #: directory entries referencing this inode
+        self.refcount = 0  #: in-core references (open files, cdir/rdir, shaddr)
+        self.data = bytearray()  #: REG contents
+        self.entries: Dict[str, "Inode"] = {}  #: DIR contents
+        self.fifo = None  #: attached Pipe for FIFO inodes
+        self.program: Optional[str] = None  #: registered program name, if executable
+        self.device = None  #: attached device object for CHR inodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Inode %d %s nlink=%d ref=%d>" % (
+            self.ino, self.itype.value, self.nlink, self.refcount,
+        )
+
+    # ------------------------------------------------------------------
+    # reference counting
+
+    def hold(self) -> "Inode":
+        self.refcount += 1
+        return self
+
+    def release(self) -> None:
+        if self.refcount <= 0:
+            raise SimulationError("inode %d refcount underflow" % self.ino)
+        self.refcount -= 1
+
+    @property
+    def live(self) -> bool:
+        """Still reachable by name or by an in-core reference."""
+        return self.nlink > 0 or self.refcount > 0
+
+    # ------------------------------------------------------------------
+    # type checks
+
+    def require_dir(self) -> None:
+        if self.itype is not InodeType.DIR:
+            raise SysError(ENOTDIR)
+
+    def require_not_dir(self) -> None:
+        if self.itype is InodeType.DIR:
+            raise SysError(EISDIR)
+
+    # ------------------------------------------------------------------
+    # permissions
+
+    def access(self, uid: int, gid: int, want: int) -> None:
+        """Raise EACCES unless credentials allow ``want`` (IREAD etc.)."""
+        if uid == 0:
+            return  # superuser
+        if uid == self.uid:
+            granted = (self.mode >> 6) & 0o7
+        elif gid == self.gid:
+            granted = (self.mode >> 3) & 0o7
+        else:
+            granted = self.mode & 0o7
+        if want & ~granted:
+            raise SysError(EACCES)
+
+    # ------------------------------------------------------------------
+    # directory operations (callers hold the fs lock)
+
+    def dir_lookup(self, name: str) -> Optional["Inode"]:
+        self.require_dir()
+        return self.entries.get(name)
+
+    def dir_add(self, name: str, child: "Inode") -> None:
+        self.require_dir()
+        if name in self.entries:
+            raise SimulationError("duplicate entry %r" % name)
+        self.entries[name] = child
+        child.nlink += 1
+
+    def dir_remove(self, name: str) -> "Inode":
+        self.require_dir()
+        child = self.entries.pop(name)
+        child.nlink -= 1
+        return child
+
+    def dir_empty(self) -> None:
+        self.require_dir()
+        if self.entries:
+            raise SysError(ENOTEMPTY)
+
+    # ------------------------------------------------------------------
+    # regular file data
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def read_at(self, offset: int, nbytes: int) -> bytes:
+        if offset >= len(self.data):
+            return b""
+        return bytes(self.data[offset:offset + nbytes])
+
+    def write_at(self, offset: int, payload: bytes) -> int:
+        if offset > len(self.data):
+            self.data.extend(b"\x00" * (offset - len(self.data)))
+        end = offset + len(payload)
+        self.data[offset:end] = payload
+        return len(payload)
+
+    def truncate(self) -> None:
+        del self.data[:]

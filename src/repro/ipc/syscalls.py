@@ -1,0 +1,277 @@
+"""System call layer for SysV IPC and sockets (kernel mixin)."""
+
+from __future__ import annotations
+
+from repro.errors import E2BIG, EINVAL, ENOTSOCK, SysError
+from repro.fs.file import File, O_RDWR
+from repro.fs.inode import Inode, InodeType
+from repro.ipc.socket import Socket, SocketNamespace
+from repro.ipc.sysv_msg import MsgRegistry
+from repro.ipc.sysv_sem import SemRegistry
+from repro.ipc.sysv_shm import ShmRegistry
+from repro.mem.pregion import PROT_RW, Pregion
+from repro.mem.region import RegionType
+from repro.share import vmshare
+from repro.sim.effects import kdelay
+
+
+def _words(nbytes: int) -> int:
+    return (nbytes + 3) // 4
+
+
+class IPCSyscalls:
+    """Kernel mixin: shmget/shmat, semop, message queues, sockets."""
+
+    def init_ipc(self) -> None:
+        self.shm = ShmRegistry(self.machine.frames)
+        self.sem = SemRegistry(self.machine, self.sched)
+        self.msg = MsgRegistry(self.machine, self.sched)
+        self.socket_names = SocketNamespace()
+
+    # ------------------------------------------------------------------
+    # shared memory
+
+    def sys_shmget(self, proc, key: int, nbytes: int, flags: int = 0):
+        yield kdelay(self.costs.file_io_base)
+        segment = self.shm.get(key, nbytes, flags)
+        return segment.shmid
+
+    def sys_shmat(self, proc, shmid: int):
+        """Attach; returns the chosen virtual address."""
+        segment = self.shm.lookup(shmid)
+        sharing = vmshare.sharing_vm(proc)
+        if sharing:
+            yield from vmshare.update_acquire(proc)
+        try:
+            base = proc.vm.alloc_map_range(segment.nbytes)
+            pregion = Pregion(segment.region, base, PROT_RW)
+            if sharing:
+                proc.vm.attach_shared(pregion)
+            else:
+                proc.vm.attach_private(pregion)
+            segment.attaches += 1
+            yield kdelay(self.costs.region_attach)
+        finally:
+            if sharing:
+                yield from vmshare.update_release(proc)
+        return base
+
+    def sys_shmdt(self, proc, vaddr: int):
+        sharing = vmshare.sharing_vm(proc)
+        if sharing:
+            yield from vmshare.update_acquire(proc)
+        try:
+            pregion, _shared = proc.vm.find(vaddr)
+            if (
+                pregion is None
+                or pregion.vbase != vaddr
+                or pregion.rtype is not RegionType.SHM
+            ):
+                raise SysError(EINVAL, "not an attached segment")
+            if sharing:
+                yield from vmshare.shootdown(self, proc)
+            else:
+                for cpu in self.machine.cpus:
+                    cpu.tlb.flush_asid(proc.vm.asid)
+                yield kdelay(self.costs.tlb_flush_local)
+            proc.vm.detach(pregion)
+            yield kdelay(self.costs.region_attach)
+        finally:
+            if sharing:
+                yield from vmshare.update_release(proc)
+        return 0
+
+    def sys_shmctl_rmid(self, proc, shmid: int):
+        yield kdelay(self.costs.file_io_base)
+        self.shm.remove(shmid)
+        return 0
+
+    # ------------------------------------------------------------------
+    # semaphores
+
+    def sys_semget(self, proc, key: int, nsems: int, flags: int = 0):
+        yield kdelay(self.costs.file_io_base)
+        semset = self.sem.get(key, nsems, flags)
+        return semset.semid
+
+    def sys_semop(self, proc, semid: int, ops):
+        """Apply an operation array atomically, sleeping as needed."""
+        semset = self.sem.lookup(semid)
+        ops = [(int(index), int(delta)) for index, delta in ops]
+        yield kdelay(self.costs.sema_op)
+        while True:
+            if semset.can_apply(ops):
+                semset.apply(ops)
+                semset.broadcast()
+                return 0
+            semset.waiters += 1
+            ok = yield from semset.change.p(proc, interruptible=True)
+            if not ok:
+                from repro.errors import EINTR
+
+                raise SysError(EINTR)
+
+    # ------------------------------------------------------------------
+    # message queues
+
+    def sys_msgget(self, proc, key: int, flags: int = 0):
+        yield kdelay(self.costs.file_io_base)
+        queue = self.msg.get(key, flags)
+        return queue.msqid
+
+    def sys_msgsnd(self, proc, msqid: int, mtype: int, payload: bytes):
+        if mtype <= 0:
+            raise SysError(EINVAL, "message type must be positive")
+        queue = self.msg.lookup(msqid)
+        yield kdelay(self.costs.msg_op)
+        while not queue.has_room(len(payload)):
+            queue.send_waiters += 1
+            ok = yield from queue.send_wait.p(proc, interruptible=True)
+            if not ok:
+                from repro.errors import EINTR
+
+                raise SysError(EINTR)
+        yield kdelay(self.costs.copyio_per_word * _words(len(payload)))
+        queue.enqueue(mtype, bytes(payload))
+        return 0
+
+    def sys_msgrcv(self, proc, msqid: int, mtype: int = 0, max_bytes: int = 1 << 20):
+        """Returns ``(mtype, payload)``."""
+        queue = self.msg.lookup(msqid)
+        yield kdelay(self.costs.msg_op)
+        while True:
+            message = queue.find(mtype)
+            if message is not None:
+                if len(message[1]) > max_bytes:
+                    raise SysError(E2BIG)
+                queue.dequeue(message)
+                yield kdelay(self.costs.copyio_per_word * _words(len(message[1])))
+                return message
+            queue.recv_waiters += 1
+            ok = yield from queue.recv_wait.p(proc, interruptible=True)
+            if not ok:
+                from repro.errors import EINTR
+
+                raise SysError(EINTR)
+
+    # ------------------------------------------------------------------
+    # sockets
+
+    def _socket_file(self) -> File:
+        inode = Inode(InodeType.CHR, mode=0o666)
+        file = File(inode, O_RDWR)
+        file.socket = Socket(self.machine, self.sched)
+        return file
+
+    def _get_socket(self, proc, fd: int) -> Socket:
+        file = proc.uarea.fdtable.get(fd)
+        if file.socket is None:
+            raise SysError(ENOTSOCK)
+        return file.socket
+
+    def sys_socket(self, proc):
+        yield kdelay(self.costs.socket_op)
+
+        def apply():
+            return proc.uarea.fdtable.alloc(self._socket_file())
+            yield  # pragma: no cover
+
+        fd = yield from self._fd_update(proc, apply)
+        return fd
+
+    def sys_socketpair(self, proc):
+        """Two already-connected sockets; returns ``(fd_a, fd_b)``."""
+        yield kdelay(self.costs.socket_op)
+
+        def apply():
+            file_a = self._socket_file()
+            file_b = self._socket_file()
+            file_a.socket.peer = file_b.socket
+            file_b.socket.peer = file_a.socket
+            table = proc.uarea.fdtable
+            fd_a = table.alloc(file_a)
+            try:
+                fd_b = table.alloc(file_b)
+            except SysError:
+                table.remove(fd_a)
+                self.dispose_file(file_a)
+                raise
+            return fd_a, fd_b
+            yield  # pragma: no cover
+
+        fds = yield from self._fd_update(proc, apply)
+        return fds
+
+    def sys_bind(self, proc, fd: int, name: str):
+        yield kdelay(self.costs.socket_op)
+        socket = self._get_socket(proc, fd)
+        self.socket_names.bind(name, socket)
+        return 0
+
+    def sys_listen(self, proc, fd: int, backlog: int = 5):
+        yield kdelay(self.costs.socket_op)
+        socket = self._get_socket(proc, fd)
+        socket.listening = True
+        socket.backlog_max = max(1, backlog)
+        return 0
+
+    def sys_connect(self, proc, fd: int, name: str):
+        yield kdelay(self.costs.socket_op)
+        socket = self._get_socket(proc, fd)
+        server = self.socket_names.lookup(name)
+        socket.connect_to(server)
+        return 0
+
+    def sys_accept(self, proc, fd: int):
+        """Returns a new descriptor for the accepted connection."""
+        yield kdelay(self.costs.socket_op)
+        listener = self._get_socket(proc, fd)
+        endpoint = yield from listener.accept_one(proc)
+
+        def apply():
+            inode = Inode(InodeType.CHR, mode=0o666)
+            file = File(inode, O_RDWR)
+            file.socket = endpoint
+            return proc.uarea.fdtable.alloc(file)
+            yield  # pragma: no cover
+
+        newfd = yield from self._fd_update(proc, apply)
+        return newfd
+
+    def sys_send(self, proc, fd: int, payload: bytes):
+        socket = self._get_socket(proc, fd)
+        yield kdelay(self.costs.socket_op)
+        yield kdelay(self.costs.copyio_per_word * _words(len(payload)))
+        count = yield from socket.send(proc, payload, self)
+        return count
+
+    def sys_recv(self, proc, fd: int, nbytes: int):
+        socket = self._get_socket(proc, fd)
+        yield kdelay(self.costs.socket_op)
+        data = yield from socket.recv(proc, nbytes)
+        yield kdelay(self.costs.copyio_per_word * _words(len(data)))
+        return data
+
+    def sys_sendfd(self, proc, fd: int, passed_fd: int):
+        """Pass an open descriptor to the peer (4.2BSD-style)."""
+        socket = self._get_socket(proc, fd)
+        if socket.peer is None:
+            raise SysError(ENOTSOCK, "not connected")
+        yield kdelay(self.costs.socket_op)
+        file = proc.uarea.fdtable.get(passed_fd)
+        socket.peer.push_fd(file.hold())
+        return 0
+
+    def sys_recvfd(self, proc, fd: int):
+        """Receive a passed descriptor; returns the new fd."""
+        socket = self._get_socket(proc, fd)
+        yield kdelay(self.costs.socket_op)
+        file = yield from socket.pop_fd(proc)
+
+        def apply():
+            return proc.uarea.fdtable.alloc(file)
+            yield  # pragma: no cover
+
+        newfd = yield from self._fd_update(proc, apply)
+        return newfd
+

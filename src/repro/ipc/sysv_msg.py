@@ -1,0 +1,99 @@
+"""System V message queues: typed, bounded, copying.
+
+A queueing-and-copying model, the other half of the paper's Figure 2.
+Both enqueue and dequeue copy the payload through the kernel, which is
+why experiment E7's bandwidth curves put it far below shared memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import EEXIST, EINVAL, ENOENT, SysError
+from repro.sync.semaphore import Semaphore
+
+from repro.ipc.sysv_shm import IPC_CREAT, IPC_EXCL, IPC_PRIVATE
+
+#: default queue capacity in bytes (MSGMNB in the era's kernels)
+MSGMNB = 16384
+
+
+class MsgQueue:
+    def __init__(self, msqid: int, key: int, machine, waker, capacity: int = MSGMNB):
+        self.msqid = msqid
+        self.key = key
+        self.capacity = capacity
+        self.bytes_used = 0
+        self.messages: Deque[Tuple[int, bytes]] = deque()
+        self.send_wait = Semaphore(machine, waker, 0, "msgsnd%d" % msqid)
+        self.recv_wait = Semaphore(machine, waker, 0, "msgrcv%d" % msqid)
+        self.send_waiters = 0
+        self.recv_waiters = 0
+        self.sent = 0
+        self.received = 0
+
+    # ------------------------------------------------------------------
+
+    def has_room(self, nbytes: int) -> bool:
+        return self.bytes_used + nbytes <= self.capacity
+
+    def enqueue(self, mtype: int, payload: bytes) -> None:
+        self.messages.append((mtype, payload))
+        self.bytes_used += len(payload)
+        self.sent += 1
+        self._wake_receivers()
+
+    def find(self, mtype: int) -> Optional[Tuple[int, bytes]]:
+        """First message matching ``mtype`` (0 = any), without removing."""
+        for message in self.messages:
+            if mtype == 0 or message[0] == mtype:
+                return message
+        return None
+
+    def dequeue(self, message: Tuple[int, bytes]) -> None:
+        self.messages.remove(message)
+        self.bytes_used -= len(message[1])
+        self.received += 1
+        self._wake_senders()
+
+    # ------------------------------------------------------------------
+
+    def _wake_receivers(self) -> None:
+        for _ in range(self.recv_waiters):
+            self.recv_wait.v()
+        self.recv_waiters = 0
+
+    def _wake_senders(self) -> None:
+        for _ in range(self.send_waiters):
+            self.send_wait.v()
+        self.send_waiters = 0
+
+
+class MsgRegistry:
+    def __init__(self, machine, waker):
+        self.machine = machine
+        self.waker = waker
+        self._by_id: Dict[int, MsgQueue] = {}
+        self._by_key: Dict[int, MsgQueue] = {}
+        self._next_id = 0
+
+    def get(self, key: int, flags: int) -> MsgQueue:
+        if key != IPC_PRIVATE and key in self._by_key:
+            if flags & IPC_CREAT and flags & IPC_EXCL:
+                raise SysError(EEXIST)
+            return self._by_key[key]
+        if not flags & IPC_CREAT and key != IPC_PRIVATE:
+            raise SysError(ENOENT)
+        self._next_id += 1
+        queue = MsgQueue(self._next_id, key, self.machine, self.waker)
+        self._by_id[queue.msqid] = queue
+        if key != IPC_PRIVATE:
+            self._by_key[key] = queue
+        return queue
+
+    def lookup(self, msqid: int) -> MsgQueue:
+        queue = self._by_id.get(msqid)
+        if queue is None:
+            raise SysError(EINVAL)
+        return queue

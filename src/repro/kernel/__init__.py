@@ -1,0 +1,32 @@
+"""The simulated System V.3 kernel with share-group support."""
+
+from repro.kernel.kernel import ERRNO_OFFSET, Kernel, ProgramImage
+from repro.kernel.proc import PRI_USER, Proc, ProcState, ProcTable
+from repro.kernel.proccalls import (
+    make_exit_status,
+    make_signal_status,
+    status_code,
+    status_exited,
+    status_signal,
+)
+from repro.kernel.sched import Scheduler
+from repro.kernel.syscalls import UserAPI
+from repro.kernel.uarea import UArea
+
+__all__ = [
+    "ERRNO_OFFSET",
+    "Kernel",
+    "PRI_USER",
+    "Proc",
+    "ProcState",
+    "ProcTable",
+    "ProgramImage",
+    "Scheduler",
+    "UArea",
+    "UserAPI",
+    "make_exit_status",
+    "make_signal_status",
+    "status_code",
+    "status_exited",
+    "status_signal",
+]

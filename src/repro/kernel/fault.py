@@ -1,0 +1,244 @@
+"""Virtual memory access: TLB refill, page faults, copyin/copyout.
+
+This is where the paper's section 6.2 machinery runs.  Every miss walks
+the process's pregion lists — private first, then shared — under the
+share group's shared read lock.  Demand-zero fills and copy-on-write
+breaks are *scans* (they change what page-table slots point to, which the
+region protocol permits under the read lock because slot mutation is
+atomic); stack growth changes the pregion list itself and therefore
+upgrades to the update lock.
+
+A user-mode SEGV posts SIGSEGV and delivers it inline: with the default
+disposition the process dies right there; with a handler installed the
+faulting access retries after the handler returns (so a handler that
+repairs the mapping — e.g. by calling ``mmap`` — resumes the program,
+just like on real hardware).
+"""
+
+from __future__ import annotations
+
+from repro.errors import EFAULT, SysError
+from repro.kernel.signals import SIGKILL, SIGSEGV
+from repro.mem.addrspace import Fault
+from repro.mem.frames import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE
+from repro.share import vmshare
+from repro.sim.effects import kdelay, udelay
+
+
+def _words(nbytes: int) -> int:
+    return (nbytes + 3) // 4
+
+
+class FaultMixin:
+    """Kernel methods for translating and touching user memory."""
+
+    # ------------------------------------------------------------------
+    # the central translate-or-fault path
+
+    def vm_handle(self, proc, vaddr: int, write: bool, user: bool):
+        """Generator: return the Frame backing ``vaddr``, faulting as needed."""
+        cpu = proc.cpu
+        tlb = cpu.tlb
+        asid = proc.vm.asid
+        vpn = vaddr >> PAGE_SHIFT
+        entry = tlb.lookup(asid, vpn)
+        if entry is not None and (not write or entry.writable):
+            return self.machine.frames.get(entry.pfn)
+
+        # Software refill: trap, walk the pregion lists under the lock.
+        yield kdelay(self.costs.tlb_refill)
+        locked = "none"
+        if vmshare.sharing_vm(proc):
+            yield from vmshare.read_acquire(proc)
+            locked = "read"
+        try:
+            while True:
+                res = proc.vm.resolve(vaddr, write)
+                kind = res.kind
+                if kind is Fault.HIT:
+                    frame = res.pregion.region.pages[res.page_index]
+                    writable = proc.vm.writable_now(res.pregion, res.page_index)
+                    tlb.insert(asid, vpn, frame.pfn, writable)
+                    return frame
+                if kind is Fault.ZERO or kind is Fault.COW:
+                    proc.faults += 1
+                    self.stats["faults"] += 1
+                    if self.tracer is not None:
+                        self.tracer.record(
+                            "fault", proc.pid,
+                            "%s @%#x" % (kind.value, vaddr),
+                        )
+                    fill = (
+                        self.costs.page_zero if kind is Fault.ZERO
+                        else self.costs.page_copy
+                    )
+                    yield kdelay(self.costs.fault_entry + fill)
+                    try:
+                        frame = proc.vm.materialize(res, vaddr, write)
+                    except MemoryError:
+                        mode, locked = locked, "none"
+                        yield from self._out_of_memory(proc, user, mode)
+                        continue
+                    writable = proc.vm.writable_now(res.pregion, res.page_index)
+                    tlb.insert(asid, vpn, frame.pfn, writable)
+                    return frame
+                if kind is Fault.GROW:
+                    if locked == "read":
+                        # Growth edits the pregion list: upgrade to the
+                        # update lock and re-resolve (someone else may
+                        # have grown the stack meanwhile).
+                        yield from vmshare.read_release(proc)
+                        yield from vmshare.update_acquire(proc)
+                        locked = "update"
+                        continue
+                    proc.faults += 1
+                    self.stats["faults"] += 1
+                    self.stats["stack_grows"] += 1
+                    yield kdelay(self.costs.fault_entry + self.costs.page_zero)
+                    try:
+                        frame = proc.vm.materialize(res, vaddr, write)
+                    except MemoryError:
+                        mode, locked = locked, "none"
+                        yield from self._out_of_memory(proc, user, mode)
+                        continue
+                    tlb.insert(asid, vpn, frame.pfn, True)
+                    return frame
+                # SEGV
+                if not user:
+                    raise SysError(EFAULT, "bad user address %#x" % vaddr)
+                if locked == "read":
+                    yield from vmshare.read_release(proc)
+                elif locked == "update":
+                    yield from vmshare.update_release(proc)
+                locked = "none"
+                self.stats["segv"] += 1
+                self.psignal(proc, SIGSEGV)
+                yield from self.deliver_pending(proc)
+                # A handler survived and (maybe) repaired the mapping:
+                # retry the access, taking the lock again.
+                if vmshare.sharing_vm(proc):
+                    yield from vmshare.read_acquire(proc)
+                    locked = "read"
+        finally:
+            if locked == "read":
+                yield from vmshare.read_release(proc)
+            elif locked == "update":
+                yield from vmshare.update_release(proc)
+
+    def _out_of_memory(self, proc, user: bool, locked: str):
+        """Generator: physical memory exhausted mid-fault.
+
+        Kernel copies report ``ENOMEM``; a faulting user access kills the
+        process (SIGKILL — there is nowhere to return to), the classic
+        no-swap OOM policy.  Locks are dropped first so the rest of the
+        group keeps running.
+        """
+        if locked == "read":
+            yield from vmshare.read_release(proc)
+        elif locked == "update":
+            yield from vmshare.update_release(proc)
+        self.stats["oom_kills"] += 1
+        if not user:
+            from repro.errors import ENOMEM
+
+            raise SysError(ENOMEM, "out of physical memory")
+        self.psignal(proc, SIGKILL)
+        yield from self.deliver_pending(proc)
+        raise AssertionError("unreachable: SIGKILL delivered")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # kernel <-> user copies (used by read/write/exec argument paths)
+
+    def copyin(self, proc, vaddr: int, nbytes: int):
+        """Generator: fetch ``nbytes`` of user memory into host bytes."""
+        out = bytearray()
+        addr = vaddr
+        remaining = nbytes
+        while remaining > 0:
+            frame = yield from self.vm_handle(proc, addr, write=False, user=False)
+            offset = addr & PAGE_MASK
+            take = min(remaining, PAGE_SIZE - offset)
+            out += frame.data[offset:offset + take]
+            yield kdelay(self.costs.copyio_per_word * _words(take))
+            addr += take
+            remaining -= take
+        return bytes(out)
+
+    def copyout(self, proc, vaddr: int, payload: bytes):
+        """Generator: store host bytes into user memory."""
+        addr = vaddr
+        index = 0
+        while index < len(payload):
+            frame = yield from self.vm_handle(proc, addr, write=True, user=False)
+            offset = addr & PAGE_MASK
+            take = min(len(payload) - index, PAGE_SIZE - offset)
+            frame.data[offset:offset + take] = payload[index:index + take]
+            yield kdelay(self.costs.copyio_per_word * _words(take))
+            addr += take
+            index += take
+        return len(payload)
+
+    # ------------------------------------------------------------------
+    # user-mode memory operations (the program's loads and stores)
+
+    def user_read(self, proc, vaddr: int, nbytes: int):
+        """Generator: a user-mode load of ``nbytes`` (may span pages)."""
+        out = bytearray()
+        addr = vaddr
+        remaining = nbytes
+        while remaining > 0:
+            offset = addr & PAGE_MASK
+            take = min(remaining, PAGE_SIZE - offset)
+            yield udelay(self.costs.mem_access + self.costs.mem_per_word * _words(take))
+            frame = yield from self.vm_handle(proc, addr, write=False, user=True)
+            out += frame.data[offset:offset + take]
+            addr += take
+            remaining -= take
+        return bytes(out)
+
+    def user_write(self, proc, vaddr: int, payload: bytes):
+        """Generator: a user-mode store."""
+        addr = vaddr
+        index = 0
+        while index < len(payload):
+            offset = addr & PAGE_MASK
+            take = min(len(payload) - index, PAGE_SIZE - offset)
+            yield udelay(self.costs.mem_access + self.costs.mem_per_word * _words(take))
+            frame = yield from self.vm_handle(proc, addr, write=True, user=True)
+            frame.data[offset:offset + take] = payload[index:index + take]
+            addr += take
+            index += take
+        return len(payload)
+
+    def user_load_word(self, proc, vaddr: int):
+        """Generator: load an aligned 32-bit little-endian word."""
+        raw = yield from self.user_read(proc, vaddr, 4)
+        return int.from_bytes(raw, "little")
+
+    def user_store_word(self, proc, vaddr: int, value: int):
+        yield from self.user_write(proc, vaddr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def user_cas(self, proc, vaddr: int, expected: int, new: int):
+        """Generator: atomic compare-and-swap on a 32-bit word.
+
+        Returns the value observed.  The read-modify-write happens with
+        no intervening yield, which is the simulation's model of an
+        interlocked bus operation.
+        """
+        yield udelay(self.costs.cas)
+        frame = yield from self.vm_handle(proc, vaddr, write=True, user=True)
+        offset = vaddr & PAGE_MASK
+        old = int.from_bytes(frame.data[offset:offset + 4], "little")
+        if old == expected:
+            frame.data[offset:offset + 4] = (new & 0xFFFFFFFF).to_bytes(4, "little")
+        return old
+
+    def user_fetch_add(self, proc, vaddr: int, delta: int):
+        """Generator: atomic fetch-and-add; returns the *previous* value."""
+        yield udelay(self.costs.cas)
+        frame = yield from self.vm_handle(proc, vaddr, write=True, user=True)
+        offset = vaddr & PAGE_MASK
+        old = int.from_bytes(frame.data[offset:offset + 4], "little")
+        new = (old + delta) & 0xFFFFFFFF
+        frame.data[offset:offset + 4] = new.to_bytes(4, "little")
+        return old

@@ -1,0 +1,533 @@
+"""Process management system calls: fork, sproc, exec, exit, wait,
+signals, and address-space calls (sbrk/mmap/munmap).
+
+Deviation from real UNIX, documented in DESIGN.md: simulated programs
+are Python generators, which cannot be cloned mid-execution, so
+``fork(entry, arg)`` and ``sproc(entry, shmask, arg)`` both start the
+child at an entry point instead of returning twice.  Everything the
+paper measures — address-space copying vs sharing, resource inheritance,
+group membership — is unaffected.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    ECHILD,
+    EINTR,
+    EINVAL,
+    ENOEXEC,
+    EPERM,
+    ESRCH,
+    SysError,
+)
+from repro.fs.inode import IEXEC
+from repro.kernel.flags import ALL_SYNC
+from repro.kernel.signals import (
+    SIGCHLD,
+    SIG_DFL,
+    SIG_IGN,
+    UNCATCHABLE,
+    check_signal_number,
+)
+from repro.mem.frames import PAGE_MASK, PAGE_SHIFT
+from repro.mem.region import RegionType
+from repro.share import prctl as prctl_mod
+from repro.share import sproc as sproc_mod
+from repro.share import vmshare
+from repro.share.mask import PR_SADDR
+from repro.sim.effects import kdelay
+from repro.sync.semaphore import Semaphore
+
+
+def make_exit_status(code: int) -> int:
+    """Encode a normal exit the way wait() reports it."""
+    return (code & 0xFF) << 8
+
+
+def make_signal_status(sig: int) -> int:
+    """Encode death-by-signal."""
+    return sig & 0x7F
+
+
+def status_exited(status: int) -> bool:
+    return status & 0xFF == 0
+
+
+def status_code(status: int) -> int:
+    return (status >> 8) & 0xFF
+
+
+def status_signal(status: int) -> int:
+    return status & 0x7F
+
+
+from repro.sim.effects import ExecImage as _ExecTaken
+
+
+class ProcSyscalls:
+    """Kernel mixin: process lifecycle and VM calls."""
+
+    # ------------------------------------------------------------------
+    # creation
+
+    def sys_fork(self, proc, entry, arg=0):
+        """Create a copy-on-write child running ``entry(api, arg)``.
+
+        Inside a share group this creates a process *outside* the group
+        (the paper's rule), with the group's visible regions left as
+        copy-on-write elements of the new process.
+        """
+        yield kdelay(self.costs.proc_alloc)
+        sharing = vmshare.sharing_vm(proc)
+        if sharing:
+            # fork is on the paper's update-lock list: it changes what
+            # the shared page tables point to (COW marking).
+            yield from vmshare.update_acquire(proc)
+        child_vm = proc.vm.dup_cow()
+        npregions = len(child_vm.private)
+        resident = sum(
+            pregion.region.resident_pages() for pregion in child_vm.private
+        )
+        yield kdelay(
+            self.costs.pregion_dup * npregions
+            + self.costs.pt_copy_per_page * resident
+        )
+        # Resident pages became read-only COW on the parent side too:
+        # stale writable translations must go.
+        if sharing:
+            yield from vmshare.shootdown(self, proc)
+            yield from vmshare.update_release(proc)
+        else:
+            for cpu in self.machine.cpus:
+                cpu.tlb.flush_asid(proc.vm.asid)
+            yield kdelay(self.costs.tlb_flush_local)
+        yield kdelay(self.costs.uarea_copy)
+        uarea = proc.uarea.fork_copy()
+        child = self._new_proc(uarea, child_vm, name=proc.name + "+f")
+        child.parent = proc
+        proc.children.append(child)
+        self.stats["forks"] += 1
+        if self.tracer is not None:
+            self.tracer.record("fork", proc.pid, "child=%d" % child.pid)
+        self._start_child(child, entry, arg)
+        return child.pid
+
+    def sys_sproc(self, proc, entry, shmask: int, arg=0):
+        """Create a share group member (paper section 5.1)."""
+        yield kdelay(self.costs.proc_alloc)
+        shaddr = sproc_mod.ensure_group(self, proc)
+        mask = sproc_mod.effective_mask(proc, shmask)
+        if mask & PR_SADDR:
+            yield from shaddr.vm_lock.acquire_update(proc)
+            child_vm, _stack = sproc_mod.build_child_vm(self, proc, mask)
+            yield kdelay(self.costs.region_create + self.costs.region_attach)
+            if mask & sproc_mod.PR_PRIVDATA:
+                # Shared data pages just became COW: running members may
+                # hold stale writable translations.
+                yield from vmshare.shootdown(self, proc)
+            yield from shaddr.vm_lock.release_update(proc)
+        else:
+            child_vm, _stack = sproc_mod.build_child_vm(self, proc, mask)
+            npregions = len(child_vm.private)
+            resident = sum(
+                pregion.region.resident_pages() for pregion in child_vm.private
+            )
+            yield kdelay(
+                self.costs.pregion_dup * npregions
+                + self.costs.pt_copy_per_page * resident
+                + self.costs.region_create
+            )
+            for cpu in self.machine.cpus:
+                cpu.tlb.flush_asid(proc.vm.asid)
+            yield kdelay(self.costs.tlb_flush_local)
+        yield kdelay(self.costs.uarea_copy)
+        uarea = sproc_mod.child_uarea(proc, shaddr, mask, dispose=self.dispose_file)
+        child = self._new_proc(uarea, child_vm, name=proc.name + "+s")
+        child.parent = proc
+        proc.children.append(child)
+        child.shaddr = shaddr
+        child.p_shmask = mask
+        shaddr.add_member(child)
+        self.stats["sprocs"] += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                "sproc", proc.pid,
+                "child=%d mask=%#x" % (child.pid, mask),
+            )
+        self._start_child(child, entry, arg)
+        return child.pid
+
+    # ------------------------------------------------------------------
+    # exec
+
+    def sys_exec(self, proc, path: str, arg=0, keep_group: bool = False):
+        """Overlay a new program image; leaves the share group first.
+
+        ``keep_group`` is the section 8 extension: the new image keeps
+        its group membership for the *non-VM* resources (file sharing,
+        scheduling as a unit) while getting a unique address space —
+        "a group of unrelated programs managed as a whole for file
+        sharing or scheduling purposes".
+        """
+        ua = proc.uarea
+        inode = self.fs.namei(path, ua.cdir, ua.rdir, ua.cred())
+        inode.access(ua.uid, ua.gid, IEXEC)
+        if inode.program is None:
+            raise SysError(ENOEXEC, path)
+        image = self.programs.get(inode.program)
+        if image is None:
+            raise SysError(ENOEXEC, "unregistered program %r" % inode.program)
+        yield kdelay(self.costs.exec_image)
+        # exec removes the process from the share group *before*
+        # overlaying the image (paper section 5.1: a secure environment
+        # for the new program) — unless the extension asks to stay.
+        proc.vm.teardown_private()
+        if proc.vm.shared is None:
+            self._retire_asid(proc.vm.asid)
+        if keep_group and proc.shaddr is not None:
+            proc.p_shmask &= ~PR_SADDR
+        else:
+            yield from self._leave_group(proc)
+        proc.vm = self.build_image_vm(image, ua.stack_max)
+        ua.reset_handlers()
+        proc.pending.clear()
+        self.stats["execs"] += 1
+        raise _ExecTaken(self._driver(proc, image.func, arg))
+
+    # ------------------------------------------------------------------
+    # exit and wait
+
+    def sys_exit(self, proc, code: int = 0):
+        yield from self.do_exit(proc, make_exit_status(code))
+
+    def do_exit(self, proc, status: int):
+        """Generator: release everything and become a zombie.  Never
+        returns — the final effect blocks forever.
+
+        A thread of a Mach-style task only tears the shared task
+        resources down when it is the last thread out.
+        """
+        if proc.alarm_event is not None:
+            proc.alarm_event.cancel()
+            proc.alarm_event = None
+        last_of_task = True
+        if proc.task is not None:
+            last_of_task = proc.task.remove(proc) == 0
+            self.stats["thread_exits"] += 1
+        if last_of_task:
+            yield kdelay(self.costs.exit_teardown)
+            for file in proc.uarea.fdtable.close_all():
+                self.dispose_file(file)
+            proc.uarea.release_dirs()
+            proc.vm.teardown_private()
+            if proc.vm.shared is None:
+                self._retire_asid(proc.vm.asid)
+            yield from self._leave_group(proc)
+        else:
+            # thread exit: just the kernel stack and proc entry go
+            yield kdelay(self.costs.exit_teardown // 3)
+        # orphaned children are inherited by init
+        init = self.proc_table.get(1)
+        for child in proc.children:
+            child.parent = init
+            if init is not None and init is not proc:
+                init.children.append(child)
+                if child.state is child.ZOMBIE:
+                    init.child_wait.v()
+        proc.children = []
+        proc.exit_status = status
+        proc.state = proc.ZOMBIE
+        self.stats["exits"] += 1
+        if self.tracer is not None:
+            self.tracer.record("exit", proc.pid, "status=%#x" % status)
+        parent = proc.parent
+        if parent is not None and parent.alive():
+            self.psignal(parent, SIGCHLD)
+            parent.child_wait.v()
+        self.on_proc_exit(proc)
+        yield from self._block_forever()
+
+    @staticmethod
+    def _block_forever():
+        from repro.sim.effects import Block
+
+        yield Block("zombie")
+        raise AssertionError("zombie resumed")  # pragma: no cover
+
+    def _retire_asid(self, asid: int) -> None:
+        """Structurally drop a dead address space's translations.
+
+        Models the flush real MIPS kernels perform when an ASID is
+        recycled; charged nowhere because it happens lazily off the
+        measured paths.
+        """
+        for cpu in self.machine.cpus:
+            cpu.tlb.flush_asid(asid)
+
+    def _leave_group(self, proc):
+        """Generator: drop share group membership; free the block when last out."""
+        shaddr = proc.shaddr
+        if shaddr is None:
+            return
+        yield from shaddr.s_listlock.acquire(proc)
+        remaining = shaddr.remove_member(proc)
+        shaddr.s_listlock.release()
+        proc.shaddr = None
+        proc.p_shmask = 0
+        proc.p_flag &= ~ALL_SYNC
+        if remaining == 0:
+            for pregion in shaddr.shared_vm.pregions:
+                pregion.detach()
+            shaddr.shared_vm.pregions = []
+            self._retire_asid(shaddr.shared_vm.asid)
+            shaddr.free(self.dispose_file)
+            self.stats["groups_freed"] += 1
+
+    def sys_wait(self, proc):
+        """Wait for a child to die; returns ``(pid, status)``."""
+        while True:
+            zombie = next(
+                (child for child in proc.children if child.state is child.ZOMBIE),
+                None,
+            )
+            if zombie is not None:
+                proc.children.remove(zombie)
+                self.proc_table.remove(zombie)
+                proc.child_wait.cp()  # consume the matching wakeup if present
+                yield kdelay(self.costs.flag_batch_test)
+                return zombie.pid, zombie.exit_status
+            if not proc.children:
+                raise SysError(ECHILD)
+            ok = yield from proc.child_wait.p(proc, interruptible=True)
+            if not ok:
+                raise SysError(EINTR)
+
+    # ------------------------------------------------------------------
+    # signals
+
+    def sys_kill(self, proc, pid: int, sig: int):
+        yield kdelay(self.costs.flag_batch_test)
+        if not check_signal_number(sig) and sig != 0:
+            raise SysError(EINVAL)
+        target = self.proc_table.get(pid)
+        if target is None or not target.alive():
+            raise SysError(ESRCH)
+        if proc.uarea.uid != 0 and proc.uarea.uid != target.uarea.uid:
+            raise SysError(EPERM)
+        if sig != 0:
+            self.psignal(target, sig)
+        return 0
+
+    def sys_signal(self, proc, sig: int, handler):
+        """Install a disposition; returns the previous one."""
+        yield kdelay(self.costs.flag_batch_test)
+        if not check_signal_number(sig) or sig in UNCATCHABLE:
+            raise SysError(EINVAL)
+        if handler not in (SIG_DFL, SIG_IGN) and not callable(handler):
+            raise SysError(EINVAL)
+        old = proc.uarea.handler(sig)
+        proc.uarea.set_handler(sig, handler)
+        if handler is SIG_IGN:
+            proc.pending.discard(sig)
+        return old
+
+    def sys_pause(self, proc):
+        """Sleep until a signal arrives; always returns EINTR.
+
+        A signal that is already pending (posted while the caller was
+        still in user mode on its way into the call) counts as having
+        arrived: the call returns immediately rather than sleeping with
+        the wakeup already consumed.
+        """
+        if proc.pending:
+            yield kdelay(self.costs.flag_batch_test)
+            raise SysError(EINTR)
+        parking = Semaphore(self.machine, self.sched, 0, "pause")
+        yield from parking.p(proc, interruptible=True)
+        raise SysError(EINTR)
+
+    # ------------------------------------------------------------------
+    # address space calls
+
+    def _data_pregion(self, proc):
+        pregion, shared = proc.vm.find_by_type(RegionType.DATA)
+        if pregion is None:
+            raise SysError(EINVAL, "no data segment")
+        return pregion, shared
+
+    def sys_sbrk(self, proc, incr: int):
+        """Grow or shrink the data segment; returns the old break.
+
+        Page-granular (a documented simplification).  Inside a VM-sharing
+        group this is an update-lock operation, and *shrinking* performs
+        the synchronous all-CPU TLB shootdown of section 6.2 — the one
+        genuinely expensive VM operation in the design.
+        """
+        pregion, shared = self._data_pregion(proc)
+        pages = (abs(incr) + PAGE_MASK) >> PAGE_SHIFT if incr else 0
+        old_brk = pregion.vhigh
+        if pages == 0:
+            yield kdelay(self.costs.flag_batch_test)
+            return old_brk
+        sharing = shared and vmshare.sharing_vm(proc)
+        if sharing:
+            yield from vmshare.update_acquire(proc)
+        try:
+            if incr > 0:
+                proc.vm.check_overlap(pregion.vhigh, pregion.vhigh + (pages << PAGE_SHIFT))
+                pregion.grow_up(pages)
+                yield kdelay(self.costs.region_attach)
+            else:
+                if pages > pregion.region.npages:
+                    raise SysError(EINVAL, "shrink below data start")
+                if sharing:
+                    yield from vmshare.shootdown(self, proc)
+                else:
+                    for cpu in self.machine.cpus:
+                        cpu.tlb.flush_asid(proc.vm.asid)
+                    yield kdelay(self.costs.tlb_flush_local)
+                pregion.region.shrink(pages)
+                yield kdelay(self.costs.region_attach)
+        finally:
+            if sharing:
+                yield from vmshare.update_release(proc)
+        return old_brk
+
+    def sys_mmap(self, proc, nbytes: int):
+        """Map anonymous pages; returns the new base address.
+
+        Visible to the whole group immediately when the VM is shared —
+        "if one process adds a pregion ... all other share group members
+        will immediately see that new virtual region."
+        """
+        if nbytes <= 0:
+            raise SysError(EINVAL)
+        from repro.mem.pregion import PROT_RW
+
+        sharing = vmshare.sharing_vm(proc)
+        if sharing:
+            yield from vmshare.update_acquire(proc)
+        try:
+            base = proc.vm.alloc_map_range(nbytes)
+            proc.vm.map_segment(
+                base, nbytes, RegionType.SHM, PROT_RW, shared=sharing
+            )
+            yield kdelay(self.costs.region_create + self.costs.region_attach)
+        finally:
+            if sharing:
+                yield from vmshare.update_release(proc)
+        self.stats["mmaps"] += 1
+        return base
+
+    def sys_munmap(self, proc, vaddr: int):
+        """Unmap a whole mapping created by mmap (partial unmaps: EINVAL).
+
+        The shootdown protocol: flush every CPU's TLB while holding the
+        update lock, *then* free the pages.
+        """
+        sharing = vmshare.sharing_vm(proc)
+        if sharing:
+            yield from vmshare.update_acquire(proc)
+        try:
+            pregion, _shared = proc.vm.find(vaddr)
+            if pregion is None or pregion.vbase != vaddr or pregion.rtype is not RegionType.SHM:
+                raise SysError(EINVAL, "not a mapping base")
+            if sharing:
+                yield from vmshare.shootdown(self, proc)
+            else:
+                for cpu in self.machine.cpus:
+                    cpu.tlb.flush_asid(proc.vm.asid)
+                yield kdelay(self.costs.tlb_flush_local)
+            proc.vm.detach(pregion)
+            yield kdelay(self.costs.region_attach)
+        finally:
+            if sharing:
+                yield from vmshare.update_release(proc)
+        self.stats["munmaps"] += 1
+        return 0
+
+    # ------------------------------------------------------------------
+    # identity and control
+
+    def sys_getpid(self, proc):
+        yield kdelay(self.costs.flag_batch_test)
+        return proc.pid
+
+    def sys_getppid(self, proc):
+        yield kdelay(self.costs.flag_batch_test)
+        return proc.parent.pid if proc.parent is not None else 0
+
+    # ------------------------------------------------------------------
+    # blockproc/unblockproc (section 8 extension: "a whole process group
+    # could be conveniently blocked or unblocked"; IRIX later shipped
+    # exactly this pair alongside sproc)
+
+    def _block_sema(self, proc):
+        if proc.block_sema is None:
+            proc.block_sema = Semaphore(
+                self.machine, self.sched, 0, "block:%d" % proc.pid
+            )
+        return proc.block_sema
+
+    def blocked_frame(self, proc):
+        """Generator the CPU parks a blocked process in (user boundary)."""
+        while proc.block_count < 0:
+            yield from self._block_sema(proc).p(proc)
+
+    def sys_blockproc(self, proc, pid: int):
+        """Decrement the target's block count; below zero it suspends at
+        its next user-mode boundary (immediately when blocking itself)."""
+        yield kdelay(self.costs.flag_batch_test)
+        target = self.proc_table.get(pid)
+        if target is None or not target.alive():
+            raise SysError(ESRCH)
+        if proc.uarea.uid != 0 and proc.uarea.uid != target.uarea.uid:
+            raise SysError(EPERM)
+        target.block_count -= 1
+        if target is proc and proc.block_count < 0:
+            yield from self.blocked_frame(proc)
+        return 0
+
+    def sys_unblockproc(self, proc, pid: int):
+        yield kdelay(self.costs.flag_batch_test)
+        target = self.proc_table.get(pid)
+        if target is None or not target.alive():
+            raise SysError(ESRCH)
+        if proc.uarea.uid != 0 and proc.uarea.uid != target.uarea.uid:
+            raise SysError(EPERM)
+        target.block_count += 1
+        if target.block_count >= 0 and target.block_sema is not None:
+            target.block_sema.v_all()
+        return 0
+
+    def sys_alarm(self, proc, cycles: int):
+        """Schedule SIGALRM ``cycles`` from now (0 cancels).
+
+        Cycle-denominated rather than second-denominated — the
+        simulation has no seconds.  Returns the cycles that remained on
+        any previous alarm.
+        """
+        yield kdelay(self.costs.flag_batch_test)
+        remaining = 0
+        if proc.alarm_event is not None and not proc.alarm_event.cancelled:
+            remaining = max(proc.alarm_event.time - self.engine.now, 0)
+            proc.alarm_event.cancel()
+            proc.alarm_event = None
+        if cycles > 0:
+            from repro.kernel.signals import SIGALRM
+
+            proc.alarm_event = self.engine.schedule(
+                cycles, lambda: self.psignal(proc, SIGALRM)
+            )
+        return remaining
+
+    def sys_nice(self, proc, incr: int):
+        yield kdelay(self.costs.flag_batch_test)
+        if incr < 0 and proc.uarea.uid != 0:
+            raise SysError(EPERM)
+        proc.pri = max(0, min(39, proc.pri + incr))
+        return proc.pri
+
+    def sys_prctl(self, proc, option: int, value: int = 0, value2: int = 0):
+        result = yield from prctl_mod.prctl(self, proc, option, value, value2)
+        return result

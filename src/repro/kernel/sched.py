@@ -1,0 +1,193 @@
+"""The multiprocessor scheduler.
+
+A global priority run queue feeds idle CPUs.  Preemption is requested by
+setting ``need_resched`` on the running process; the CPU honors it at its
+next user-mode boundary (kernel code is never preempted on its own CPU,
+the System V rule the paper's locking design assumes).
+
+Gang mode — the paper's section 8 suggestion that "at least two of the
+processes in the share group must run in parallel, or the group should
+not be allowed to execute at all" — is implemented as an extension: a
+share group marked gang-scheduled is only dispatched when enough CPUs are
+idle to run *all* of its runnable members side by side, and they are then
+placed as a unit.  Experiment E12 measures what this buys spinlock-heavy
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SimulationError
+from repro.kernel.proc import Proc, ProcState
+
+
+class Scheduler:
+    """Global run queue plus idle-CPU bookkeeping."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._queue: List[Proc] = []  #: FIFO within priority
+        self._idle = list(machine.cpus)  #: CPUs with nothing to run
+        self.wakeups = 0
+        self.gang_dispatches = 0
+        self.gang_holds = 0
+        for cpu in machine.cpus:
+            cpu.dispatcher = self
+
+    # ------------------------------------------------------------------
+    # queue maintenance
+
+    def wakeup(self, proc: Proc) -> None:
+        """Make ``proc`` runnable and get it a CPU if one is idle."""
+        if proc.state in (ProcState.RUNNING, ProcState.RUNNABLE):
+            return
+        if proc.state is ProcState.ZOMBIE:
+            raise SimulationError("wakeup of zombie %r" % proc)
+        proc.state = ProcState.RUNNABLE
+        self._queue.append(proc)
+        self.wakeups += 1
+        self._dispatch_idle()
+        if proc.state is ProcState.RUNNABLE:
+            self._request_preemption(proc)
+
+    def requeue(self, proc: Proc) -> None:
+        """A preempted or yielding process goes back to the queue tail."""
+        proc.state = ProcState.RUNNABLE
+        self._queue.append(proc)
+
+    def cpu_idle(self, cpu) -> None:
+        """``cpu`` has nothing to run; find it work or park it."""
+        if cpu.current is not None:
+            raise SimulationError("cpu_idle on busy CPU%d" % cpu.idx)
+        if cpu not in self._idle:
+            self._idle.append(cpu)
+        self._dispatch_idle()
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch_idle(self) -> None:
+        """Fill idle CPUs from the run queue until no eligible work remains."""
+        while self._idle:
+            chosen = self._pick()
+            if chosen is None:
+                return
+            proc, companions = chosen
+            self._place(proc)
+            for member in companions:
+                self._place(member)
+
+    def _place(self, proc: Proc) -> None:
+        cpu = self._idle.pop(0)
+        self._queue.remove(proc)
+        proc.state = ProcState.RUNNING
+        cpu.assign(proc)
+
+    def _pick(self) -> Optional[tuple]:
+        """Best proc to dispatch, plus gang companions to co-dispatch.
+
+        A gang member at the head of the queue *reserves* idle CPUs: if
+        not enough processors are free to co-schedule the whole gang, we
+        return None (leaving CPUs idle to accumulate) and ask running
+        non-members to yield, rather than handing the CPUs to whoever is
+        next.  Deliberately non-work-conserving — that is the price of
+        the section 8 guarantee that the group runs in parallel or not
+        at all.
+        """
+        best: Optional[Proc] = None
+        for proc in self._queue:
+            if best is None or proc.pri < best.pri:
+                best = proc
+        if best is None:
+            return None
+        if self._is_gang(best):
+            if self._gang_blocked(best):
+                self._evict_for_gang(best)
+                return None
+            return best, self._gang_companions(best)
+        return best, []
+
+    def _evict_for_gang(self, proc: Proc) -> None:
+        """Ask CPUs running non-members to free up for a waiting gang."""
+        members = set(proc.shaddr.members())
+        for cpu in self.machine.cpus:
+            running = cpu.current
+            if running is not None and running not in members:
+                running.need_resched = True
+
+    # ------------------------------------------------------------------
+    # gang mode (extension)
+
+    @staticmethod
+    def _is_gang(proc: Proc) -> bool:
+        return proc.shaddr is not None and getattr(proc.shaddr, "gang", False)
+
+    def _gang_runnable(self, proc: Proc) -> List[Proc]:
+        return [
+            member for member in proc.shaddr.members()
+            if member.state is ProcState.RUNNABLE
+        ]
+
+    def _gang_need(self, proc: Proc) -> int:
+        """CPUs required to co-dispatch the gang (capped at the machine)."""
+        return min(len(self._gang_runnable(proc)), self.machine.ncpus)
+
+    def _gang_blocked(self, proc: Proc) -> bool:
+        """May this gang member not be dispatched yet?"""
+        if not self._is_gang(proc):
+            return False
+        if self._gang_need(proc) <= len(self._idle):
+            return False
+        self.gang_holds += 1
+        return True
+
+    def _gang_companions(self, proc: Proc) -> List[Proc]:
+        """Other members to place on idle CPUs alongside ``proc``."""
+        if not self._is_gang(proc):
+            return []
+        take = self._gang_need(proc) - 1
+        companions = [
+            member for member in self._gang_runnable(proc) if member is not proc
+        ][:take]
+        self.gang_dispatches += 1
+        return companions
+
+    # ------------------------------------------------------------------
+    # preemption
+
+    def _request_preemption(self, incoming: Proc) -> None:
+        """Ask the worst-priority running CPU to yield to ``incoming``."""
+        victim_cpu = None
+        for cpu in self.machine.cpus:
+            running = cpu.current
+            if running is None:
+                continue
+            if running.pri <= incoming.pri:
+                continue
+            if victim_cpu is None or running.pri > victim_cpu.current.pri:
+                victim_cpu = cpu
+        if victim_cpu is not None:
+            victim_cpu.current.need_resched = True
+
+    def should_preempt(self, cpu, proc: Proc) -> bool:
+        """Quantum expired on ``proc``: is someone of equal/better priority waiting?"""
+        for queued in self._queue:
+            if queued.pri <= proc.pri and not self._gang_blocked(queued):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def has_runnable(self) -> bool:
+        """Is anybody waiting for a CPU?  (sched_yield fast-path check)"""
+        return bool(self._queue)
+
+    @property
+    def runnable_count(self) -> int:
+        return len(self._queue)
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)

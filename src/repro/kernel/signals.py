@@ -1,0 +1,101 @@
+"""Signal numbers, default actions, and the pending-signal set.
+
+The subset implemented is the one the paper's model leans on: signals
+must keep working for share group members exactly as for normal
+processes ("the principle of least surprise"), so delivery happens at the
+classic points — return to user mode, and interruption of interruptible
+sleeps.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Set
+
+SIGHUP = 1
+SIGINT = 2
+SIGQUIT = 3
+SIGILL = 4
+SIGTRAP = 5
+SIGABRT = 6
+SIGEMT = 7
+SIGFPE = 8
+SIGKILL = 9
+SIGBUS = 10
+SIGSEGV = 11
+SIGSYS = 12
+SIGPIPE = 13
+SIGALRM = 14
+SIGTERM = 15
+SIGUSR1 = 16
+SIGUSR2 = 17
+SIGCHLD = 18
+SIGSTOP = 23  # accepted but stop/continue is not modelled; acts like TERM
+SIGCONT = 25
+
+NSIG = 32
+
+#: handler sentinels (match the classic numeric conventions)
+SIG_DFL = 0
+SIG_IGN = 1
+
+
+class Action(enum.Enum):
+    TERMINATE = "terminate"
+    IGNORE = "ignore"
+
+
+#: default disposition per signal
+_DEFAULT_IGNORED = {SIGCHLD, SIGCONT}
+
+#: signals whose disposition cannot be changed
+UNCATCHABLE = {SIGKILL}
+
+
+def default_action(sig: int) -> Action:
+    if sig in _DEFAULT_IGNORED:
+        return Action.IGNORE
+    return Action.TERMINATE
+
+
+def check_signal_number(sig: int) -> bool:
+    return 1 <= sig < NSIG
+
+
+class PendingSet:
+    """The per-process set of posted-but-undelivered signals."""
+
+    def __init__(self):
+        self._pending: Set[int] = set()
+
+    def post(self, sig: int) -> None:
+        self._pending.add(sig)
+
+    def clear(self) -> None:
+        self._pending.clear()
+
+    def take(self) -> int:
+        """Remove and return the lowest pending signal (0 if none).
+
+        SIGKILL always wins, matching the kernel's issig() priority.
+        """
+        if not self._pending:
+            return 0
+        if SIGKILL in self._pending:
+            self._pending.discard(SIGKILL)
+            return SIGKILL
+        sig = min(self._pending)
+        self._pending.discard(sig)
+        return sig
+
+    def discard(self, sig: int) -> None:
+        self._pending.discard(sig)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def __contains__(self, sig: int) -> bool:
+        return sig in self._pending
+
+    def __len__(self) -> int:
+        return len(self._pending)

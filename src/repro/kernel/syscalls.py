@@ -1,0 +1,433 @@
+"""The user-side system call interface.
+
+Each simulated process holds a :class:`UserAPI` bound to it.  Program
+code makes system calls with ``yield from``:
+
+    def main(api, arg):
+        fd = yield from api.open("/tmp/data", O_RDONLY)
+        data = yield from api.read(fd, 128)
+        yield from api.close(fd)
+        return 0
+
+Every call runs through the kernel trampoline (entry cost, share-group
+sync check, handler, signal delivery, exit cost) and follows the System V
+convention: ``-1`` on failure with the error number stored in the PRDA
+``errno`` slot (read it with :meth:`UserAPI.errno`).
+
+Memory operations (:meth:`load`, :meth:`store`, :meth:`cas` ...) are not
+system calls — they are user-mode instructions that go through the TLB
+and may page-fault.
+"""
+
+from __future__ import annotations
+
+from repro.fs.file import O_RDONLY, SEEK_SET
+from repro.kernel.kernel import ERRNO_OFFSET, Kernel
+from repro.mem import layout
+from repro.sim.effects import Yield, udelay
+
+
+class UserAPI:
+    """Syscall stubs and user-mode instructions for one process."""
+
+    def __init__(self, kernel: Kernel, proc):
+        self.kernel = kernel
+        self.proc = proc
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<UserAPI pid=%d>" % self.proc.pid
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def _call(self, handler):
+        result = yield from self.kernel.syscall(self.proc, handler)
+        return result
+
+    # ------------------------------------------------------------------
+    # user-mode instructions (no kernel entry unless they fault)
+
+    def compute(self, cycles: int):
+        """Burn CPU in user mode (preemptible)."""
+        yield udelay(cycles)
+
+    def yield_cpu(self):
+        """Voluntarily give up the processor."""
+        yield Yield()
+
+    def load(self, vaddr: int, nbytes: int):
+        data = yield from self.kernel.user_read(self.proc, vaddr, nbytes)
+        return data
+
+    def store(self, vaddr: int, payload: bytes):
+        count = yield from self.kernel.user_write(self.proc, vaddr, payload)
+        return count
+
+    def load_word(self, vaddr: int):
+        value = yield from self.kernel.user_load_word(self.proc, vaddr)
+        return value
+
+    def store_word(self, vaddr: int, value: int):
+        yield from self.kernel.user_store_word(self.proc, vaddr, value)
+
+    def cas(self, vaddr: int, expected: int, new: int):
+        """Atomic compare-and-swap; returns the observed value."""
+        old = yield from self.kernel.user_cas(self.proc, vaddr, expected, new)
+        return old
+
+    def fetch_add(self, vaddr: int, delta: int):
+        """Atomic fetch-and-add; returns the previous value."""
+        old = yield from self.kernel.user_fetch_add(self.proc, vaddr, delta)
+        return old
+
+    def errno(self):
+        """Read errno from the PRDA (a user-mode load, as in the paper)."""
+        value = yield from self.load_word(layout.PRDA_BASE + ERRNO_OFFSET)
+        return value
+
+    # ------------------------------------------------------------------
+    # host-side observability (free: simulation instrumentation)
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in cycles (instrumentation only)."""
+        return self.kernel.engine.now
+
+    @property
+    def pid(self) -> int:
+        return self.proc.pid
+
+    # ------------------------------------------------------------------
+    # process lifecycle
+
+    def fork(self, entry, arg=0):
+        result = yield from self._call(self.kernel.sys_fork(self.proc, entry, arg))
+        return result
+
+    def sproc(self, entry, shmask: int, arg=0):
+        result = yield from self._call(
+            self.kernel.sys_sproc(self.proc, entry, shmask, arg)
+        )
+        return result
+
+    def exec(self, path: str, arg=0, keep_group: bool = False):
+        result = yield from self._call(
+            self.kernel.sys_exec(self.proc, path, arg, keep_group)
+        )
+        return result
+
+    def exit(self, code: int = 0):
+        yield from self._call(self.kernel.sys_exit(self.proc, code))
+
+    def wait(self):
+        result = yield from self._call(self.kernel.sys_wait(self.proc))
+        return result
+
+    def kill(self, pid: int, sig: int):
+        result = yield from self._call(self.kernel.sys_kill(self.proc, pid, sig))
+        return result
+
+    def signal(self, sig: int, handler):
+        result = yield from self._call(self.kernel.sys_signal(self.proc, sig, handler))
+        return result
+
+    def pause(self):
+        result = yield from self._call(self.kernel.sys_pause(self.proc))
+        return result
+
+    def uwait(self, vaddr: int, expected: int):
+        """Sleep while the shared word equals ``expected`` (futex-style;
+        extension — see kernel/usync.py)."""
+        result = yield from self._call(
+            self.kernel.sys_uwait(self.proc, vaddr, expected)
+        )
+        return result
+
+    def uwake(self, vaddr: int, count: int = 1):
+        """Wake up to ``count`` uwait sleepers on the word."""
+        result = yield from self._call(
+            self.kernel.sys_uwake(self.proc, vaddr, count)
+        )
+        return result
+
+    def blockproc(self, pid: int):
+        """Suspend a process (section 8 extension; IRIX blockproc)."""
+        result = yield from self._call(self.kernel.sys_blockproc(self.proc, pid))
+        return result
+
+    def unblockproc(self, pid: int):
+        result = yield from self._call(self.kernel.sys_unblockproc(self.proc, pid))
+        return result
+
+    def alarm(self, cycles: int):
+        """Arm (or with 0, cancel) a SIGALRM timer, in cycles."""
+        result = yield from self._call(self.kernel.sys_alarm(self.proc, cycles))
+        return result
+
+    def getpid(self):
+        result = yield from self._call(self.kernel.sys_getpid(self.proc))
+        return result
+
+    def getppid(self):
+        result = yield from self._call(self.kernel.sys_getppid(self.proc))
+        return result
+
+    def nice(self, incr: int):
+        result = yield from self._call(self.kernel.sys_nice(self.proc, incr))
+        return result
+
+    def prctl(self, option: int, value: int = 0, value2: int = 0):
+        result = yield from self._call(
+            self.kernel.sys_prctl(self.proc, option, value, value2)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # address space
+
+    def sbrk(self, incr: int):
+        result = yield from self._call(self.kernel.sys_sbrk(self.proc, incr))
+        return result
+
+    def mmap(self, nbytes: int):
+        result = yield from self._call(self.kernel.sys_mmap(self.proc, nbytes))
+        return result
+
+    def munmap(self, vaddr: int):
+        result = yield from self._call(self.kernel.sys_munmap(self.proc, vaddr))
+        return result
+
+    # ------------------------------------------------------------------
+    # files
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o666):
+        result = yield from self._call(
+            self.kernel.sys_open(self.proc, path, flags, mode)
+        )
+        return result
+
+    def creat(self, path: str, mode: int = 0o666):
+        result = yield from self._call(self.kernel.sys_creat(self.proc, path, mode))
+        return result
+
+    def close(self, fd: int):
+        result = yield from self._call(self.kernel.sys_close(self.proc, fd))
+        return result
+
+    def read(self, fd: int, nbytes: int):
+        """Read into a host buffer; returns bytes (or -1 on error)."""
+        result = yield from self._call(self.kernel.sys_read(self.proc, fd, nbytes))
+        return result
+
+    def write(self, fd: int, payload: bytes):
+        result = yield from self._call(self.kernel.sys_write(self.proc, fd, payload))
+        return result
+
+    def read_v(self, fd: int, vaddr: int, nbytes: int):
+        """POSIX-shaped read into guest memory; returns the byte count."""
+        result = yield from self._call(
+            self.kernel.sys_read_v(self.proc, fd, vaddr, nbytes)
+        )
+        return result
+
+    def write_v(self, fd: int, vaddr: int, nbytes: int):
+        result = yield from self._call(
+            self.kernel.sys_write_v(self.proc, fd, vaddr, nbytes)
+        )
+        return result
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET):
+        result = yield from self._call(
+            self.kernel.sys_lseek(self.proc, fd, offset, whence)
+        )
+        return result
+
+    def dup(self, fd: int):
+        result = yield from self._call(self.kernel.sys_dup(self.proc, fd))
+        return result
+
+    def dup2(self, fd: int, newfd: int):
+        result = yield from self._call(self.kernel.sys_dup2(self.proc, fd, newfd))
+        return result
+
+    def pipe(self):
+        """Returns ``(read_fd, write_fd)`` or -1."""
+        result = yield from self._call(self.kernel.sys_pipe(self.proc))
+        return result
+
+    def mkdir(self, path: str, mode: int = 0o777):
+        result = yield from self._call(self.kernel.sys_mkdir(self.proc, path, mode))
+        return result
+
+    def link(self, existing: str, newpath: str):
+        result = yield from self._call(
+            self.kernel.sys_link(self.proc, existing, newpath)
+        )
+        return result
+
+    def ftruncate(self, fd: int, length: int = 0):
+        result = yield from self._call(
+            self.kernel.sys_ftruncate(self.proc, fd, length)
+        )
+        return result
+
+    def readdir(self, path: str):
+        """Directory entry names (a list), or -1."""
+        result = yield from self._call(self.kernel.sys_readdir(self.proc, path))
+        return result
+
+    def unlink(self, path: str):
+        result = yield from self._call(self.kernel.sys_unlink(self.proc, path))
+        return result
+
+    def stat(self, path: str):
+        result = yield from self._call(self.kernel.sys_stat(self.proc, path))
+        return result
+
+    def fstat(self, fd: int):
+        result = yield from self._call(self.kernel.sys_fstat(self.proc, fd))
+        return result
+
+    def chdir(self, path: str):
+        result = yield from self._call(self.kernel.sys_chdir(self.proc, path))
+        return result
+
+    def chroot(self, path: str):
+        result = yield from self._call(self.kernel.sys_chroot(self.proc, path))
+        return result
+
+    def umask(self, mask: int):
+        result = yield from self._call(self.kernel.sys_umask(self.proc, mask))
+        return result
+
+    def ulimit(self, cmd: int, value: int = 0):
+        result = yield from self._call(self.kernel.sys_ulimit(self.proc, cmd, value))
+        return result
+
+    # ------------------------------------------------------------------
+    # identity
+
+    def getuid(self):
+        result = yield from self._call(self.kernel.sys_getuid(self.proc))
+        return result
+
+    def getgid(self):
+        result = yield from self._call(self.kernel.sys_getgid(self.proc))
+        return result
+
+    def setuid(self, uid: int):
+        result = yield from self._call(self.kernel.sys_setuid(self.proc, uid))
+        return result
+
+    def setgid(self, gid: int):
+        result = yield from self._call(self.kernel.sys_setgid(self.proc, gid))
+        return result
+
+    # ------------------------------------------------------------------
+    # System V IPC
+
+    def shmget(self, key: int, nbytes: int, flags: int = 0):
+        result = yield from self._call(
+            self.kernel.sys_shmget(self.proc, key, nbytes, flags)
+        )
+        return result
+
+    def shmat(self, shmid: int):
+        result = yield from self._call(self.kernel.sys_shmat(self.proc, shmid))
+        return result
+
+    def shmdt(self, vaddr: int):
+        result = yield from self._call(self.kernel.sys_shmdt(self.proc, vaddr))
+        return result
+
+    def shm_rmid(self, shmid: int):
+        """IPC_RMID: destroy the segment once all attaches are gone."""
+        result = yield from self._call(
+            self.kernel.sys_shmctl_rmid(self.proc, shmid)
+        )
+        return result
+
+    def semget(self, key: int, nsems: int, flags: int = 0):
+        result = yield from self._call(
+            self.kernel.sys_semget(self.proc, key, nsems, flags)
+        )
+        return result
+
+    def semop(self, semid: int, ops):
+        result = yield from self._call(self.kernel.sys_semop(self.proc, semid, ops))
+        return result
+
+    def msgget(self, key: int, flags: int = 0):
+        result = yield from self._call(self.kernel.sys_msgget(self.proc, key, flags))
+        return result
+
+    def msgsnd(self, msqid: int, mtype: int, payload: bytes):
+        result = yield from self._call(
+            self.kernel.sys_msgsnd(self.proc, msqid, mtype, payload)
+        )
+        return result
+
+    def msgrcv(self, msqid: int, mtype: int = 0, max_bytes: int = 1 << 20):
+        result = yield from self._call(
+            self.kernel.sys_msgrcv(self.proc, msqid, mtype, max_bytes)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # sockets
+
+    def socket(self):
+        result = yield from self._call(self.kernel.sys_socket(self.proc))
+        return result
+
+    def socketpair(self):
+        result = yield from self._call(self.kernel.sys_socketpair(self.proc))
+        return result
+
+    def bind(self, fd: int, name: str):
+        result = yield from self._call(self.kernel.sys_bind(self.proc, fd, name))
+        return result
+
+    def listen(self, fd: int, backlog: int = 5):
+        result = yield from self._call(self.kernel.sys_listen(self.proc, fd, backlog))
+        return result
+
+    def connect(self, fd: int, name: str):
+        result = yield from self._call(self.kernel.sys_connect(self.proc, fd, name))
+        return result
+
+    def accept(self, fd: int):
+        result = yield from self._call(self.kernel.sys_accept(self.proc, fd))
+        return result
+
+    def send(self, fd: int, payload: bytes):
+        result = yield from self._call(self.kernel.sys_send(self.proc, fd, payload))
+        return result
+
+    def recv(self, fd: int, nbytes: int):
+        result = yield from self._call(self.kernel.sys_recv(self.proc, fd, nbytes))
+        return result
+
+    def sendfd(self, fd: int, passed_fd: int):
+        """Pass a descriptor over a socket (the BSD-style baseline)."""
+        result = yield from self._call(
+            self.kernel.sys_sendfd(self.proc, fd, passed_fd)
+        )
+        return result
+
+    def recvfd(self, fd: int):
+        result = yield from self._call(self.kernel.sys_recvfd(self.proc, fd))
+        return result
+
+    # ------------------------------------------------------------------
+    # Mach-style threads (the comparison baseline)
+
+    def thread_create(self, entry, arg=0):
+        result = yield from self._call(
+            self.kernel.sys_thread_create(self.proc, entry, arg)
+        )
+        return result
+
+    def thread_join(self):
+        result = yield from self._call(self.kernel.sys_thread_join(self.proc))
+        return result

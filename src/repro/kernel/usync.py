@@ -1,0 +1,84 @@
+"""Kernel-assisted blocking on user words: ``uwait``/``uwake``.
+
+EXTENSION beyond the 1988 paper, but the historically next step it set
+up: the paper's section 3 argues busy-waiting is the fast path, and its
+section 8 worries about what happens when spinners outnumber processors
+(hence the gang hint).  IRIX's later *usync* facility — and eventually
+Linux's futex — resolved the tension the other way: spin briefly, then
+ask the kernel to sleep until another process pokes the same word.
+
+``uwait(vaddr, expected)`` sleeps only if the word still holds
+``expected`` (checked under the kernel's hash-chain lock, so a wake
+between the user-mode check and the call is never lost);
+``uwake(vaddr, count)`` wakes up to ``count`` sleepers.  Queues are
+keyed by ``(asid, vaddr)`` — sharing the address space is what makes two
+processes' waits meet, which is pleasingly share-group-shaped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.errors import EINTR, SysError
+from repro.sim.effects import kdelay
+from repro.sync.semaphore import Semaphore
+
+
+class _WaitChannel:
+    __slots__ = ("sema", "waiters")
+
+    def __init__(self, machine, waker, name):
+        self.sema = Semaphore(machine, waker, 0, name)
+        self.waiters = 0
+
+
+class UsyncSyscalls:
+    """Kernel mixin: the uwait/uwake pair."""
+
+    def init_usync(self) -> None:
+        self._usync: Dict[Tuple[int, int], _WaitChannel] = {}
+
+    def _usync_channel(self, asid: int, vaddr: int) -> _WaitChannel:
+        key = (asid, vaddr)
+        channel = self._usync.get(key)
+        if channel is None:
+            channel = _WaitChannel(
+                self.machine, self.sched, "uwait@%#x" % vaddr
+            )
+            self._usync[key] = channel
+        return channel
+
+    def sys_uwait(self, proc, vaddr: int, expected: int):
+        """Sleep while the user word equals ``expected``.
+
+        Returns 1 if it slept and was woken, 0 if the word had already
+        changed (no sleep).  EINTR on signal, as any interruptible sleep.
+        """
+        frame = yield from self.vm_handle(proc, vaddr, write=False, user=False)
+        offset = vaddr & 0xFFF
+        value = int.from_bytes(frame.data[offset:offset + 4], "little")
+        if value != expected:
+            yield kdelay(self.costs.flag_batch_test)
+            return 0
+        channel = self._usync_channel(proc.vm.asid, vaddr)
+        channel.waiters += 1
+        self.stats["uwaits"] += 1
+        ok = yield from channel.sema.p(proc, interruptible=True)
+        if not ok:
+            channel.waiters = max(channel.waiters - 1, 0)
+            raise SysError(EINTR)
+        return 1
+
+    def sys_uwake(self, proc, vaddr: int, count: int = 1):
+        """Wake up to ``count`` sleepers on the word; returns the number
+        of wakeups banked (``v()`` keeps one for a racing sleeper)."""
+        yield kdelay(self.costs.wakeup)
+        channel = self._usync.get((proc.vm.asid, vaddr))
+        if channel is None:
+            return 0
+        woken = min(count, channel.waiters) if channel.waiters else 0
+        for _ in range(woken):
+            channel.sema.v()
+        channel.waiters -= woken
+        self.stats["uwakes"] += woken
+        return woken

@@ -1,0 +1,33 @@
+"""Virtual memory: frames, regions, pregions, address spaces, layout."""
+
+from repro.mem.addrspace import AddressSpace, Fault, Resolution, SharedVM
+from repro.mem.frames import Frame, FrameAllocator, PAGE_SIZE
+from repro.mem.pregion import (
+    Growth,
+    PROT_EXEC,
+    PROT_READ,
+    PROT_RW,
+    PROT_RX,
+    PROT_WRITE,
+    Pregion,
+)
+from repro.mem.region import Region, RegionType
+
+__all__ = [
+    "AddressSpace",
+    "Fault",
+    "Frame",
+    "FrameAllocator",
+    "Growth",
+    "PAGE_SIZE",
+    "PROT_EXEC",
+    "PROT_READ",
+    "PROT_RW",
+    "PROT_RX",
+    "PROT_WRITE",
+    "Pregion",
+    "Region",
+    "RegionType",
+    "Resolution",
+    "SharedVM",
+]

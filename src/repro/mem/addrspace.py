@@ -1,0 +1,371 @@
+"""Address spaces: private and group-shared pregion lists.
+
+Every process owns an :class:`AddressSpace`.  A standalone process keeps
+all of its pregions on the private list.  When a process creates a share
+group with ``PR_SADDR``, its sharable pregions move into a
+:class:`SharedVM` that all VM-sharing members reference; each member's
+private list then holds only what must stay per-process (the PRDA, and
+debugger-private text if any).
+
+Lookup order follows the paper (section 6.2): *"the private regions for a
+process are examined first when demand paging ..., followed by
+examination of the shared regions."*  This is what makes the private PRDA
+shadow nothing and lets a future implementation mix copy-on-write and
+shared pieces of one image.
+
+The address space itself is a passive data structure: methods here decide
+*what* a fault means (:class:`Resolution`) and mutate page tables, while
+the kernel's fault handler charges cycle costs and takes the share
+group's shared read lock around these calls.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.mem import layout
+from repro.mem.frames import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, Frame
+from repro.mem.pregion import Growth, Pregion, PROT_WRITE
+from repro.mem.region import Region, RegionType
+
+
+class Fault(enum.Enum):
+    """What a virtual access needs from the fault handler."""
+
+    HIT = "hit"  #: frame resident and access allowed
+    ZERO = "zero"  #: demand-zero fill required
+    COW = "cow"  #: copy-on-write break required
+    GROW = "grow"  #: downward stack growth, then demand-zero
+    SEGV = "segv"  #: no mapping / protection violation
+
+
+class Resolution:
+    """Outcome of resolving a virtual address against an address space."""
+
+    __slots__ = ("kind", "pregion", "page_index", "shared")
+
+    def __init__(
+        self,
+        kind: Fault,
+        pregion: Optional[Pregion] = None,
+        page_index: int = -1,
+        shared: bool = False,
+    ):
+        self.kind = kind
+        self.pregion = pregion
+        self.page_index = page_index
+        self.shared = shared
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Resolution %s %r>" % (self.kind.value, self.pregion)
+
+
+class SharedVM:
+    """The VM image shared by a share group (the paper's ``s_region`` list).
+
+    Holds the shared pregion list, the single address-space ID every
+    VM-sharing member runs under, and the stack-carving cursor used by
+    ``sproc`` to place each new member's stack.  Concurrency control (the
+    shared read lock) lives in the shared address block, not here.
+    """
+
+    def __init__(self, machine, stack_max_bytes: int = layout.DEFAULT_STACK_MAX):
+        self.machine = machine
+        self.asid = machine.alloc_asid()
+        self.pregions: List[Pregion] = []
+        self.stack_max_bytes = stack_max_bytes
+        self._next_stack_index = 0
+        self._next_map_base = layout.MAP_BASE
+
+    def alloc_stack_index(self) -> int:
+        index = self._next_stack_index
+        self._next_stack_index += 1
+        return index
+
+    def alloc_map_range(self, nbytes: int) -> int:
+        """Bump-allocate a page-aligned window in the mapping arena."""
+        nbytes = (nbytes + PAGE_MASK) & ~PAGE_MASK
+        base = self._next_map_base
+        if base + nbytes > layout.MAP_LIMIT:
+            raise MemoryError("mapping arena exhausted")
+        self._next_map_base = base + nbytes
+        return base
+
+
+class AddressSpace:
+    """One process's view of virtual memory."""
+
+    def __init__(self, machine, shared: Optional[SharedVM] = None):
+        self.machine = machine
+        self.frames = machine.frames
+        self.shared = shared
+        self._own_asid = machine.alloc_asid() if shared is None else None
+        self.private: List[Pregion] = []
+        self._next_stack_index = 0
+        self._next_map_base = layout.MAP_BASE
+        self.stack_max_bytes = layout.DEFAULT_STACK_MAX
+
+    # ------------------------------------------------------------------
+    # identity
+
+    @property
+    def asid(self) -> int:
+        if self.shared is not None:
+            return self.shared.asid
+        return self._own_asid
+
+    # ------------------------------------------------------------------
+    # pregion lists
+
+    def iter_pregions(self) -> Iterator[Tuple[Pregion, bool]]:
+        """All visible pregions, private first (paper's lookup order)."""
+        for pregion in self.private:
+            yield pregion, False
+        if self.shared is not None:
+            for pregion in self.shared.pregions:
+                yield pregion, True
+
+    def find(self, vaddr: int) -> Tuple[Optional[Pregion], bool]:
+        for pregion, shared in self.iter_pregions():
+            if pregion.contains(vaddr):
+                return pregion, shared
+        return None, False
+
+    def find_by_type(self, rtype: RegionType) -> Tuple[Optional[Pregion], bool]:
+        for pregion, shared in self.iter_pregions():
+            if pregion.rtype is rtype:
+                return pregion, shared
+        return None, False
+
+    def check_overlap(self, vlow: int, vhigh: int) -> None:
+        for pregion, _shared in self.iter_pregions():
+            if pregion.overlaps(vlow, vhigh):
+                raise SimulationError(
+                    "mapping %#x..%#x overlaps %r" % (vlow, vhigh, pregion)
+                )
+
+    def attach_private(self, pregion: Pregion, allow_shadow: bool = False) -> Pregion:
+        """Attach to the private list.
+
+        With ``allow_shadow`` the new pregion may overlap *shared*
+        pregions: private-first lookup then shadows the shared mapping,
+        which is how selective (partly COW) sharing of a group image
+        works — the enhancement the paper's section 6.2 anticipates.
+        """
+        if allow_shadow:
+            for existing in self.private:
+                if existing.overlaps(pregion.vlow, pregion.vhigh):
+                    raise SimulationError(
+                        "shadow mapping overlaps private %r" % existing
+                    )
+        else:
+            self.check_overlap(pregion.vlow, pregion.vhigh)
+        self.private.append(pregion)
+        return pregion
+
+    def attach_shared(self, pregion: Pregion) -> Pregion:
+        if self.shared is None:
+            raise SimulationError("no shared VM to attach to")
+        self.check_overlap(pregion.vlow, pregion.vhigh)
+        self.shared.pregions.append(pregion)
+        return pregion
+
+    def detach(self, pregion: Pregion) -> None:
+        """Remove a pregion from whichever list holds it."""
+        if pregion in self.private:
+            self.private.remove(pregion)
+        elif self.shared is not None and pregion in self.shared.pregions:
+            self.shared.pregions.remove(pregion)
+        else:
+            raise SimulationError("detach of unattached %r" % pregion)
+        pregion.detach()
+
+    # ------------------------------------------------------------------
+    # fault resolution
+
+    def resolve(self, vaddr: int, write: bool) -> Resolution:
+        """Classify an access.  Pure decision — no page tables change."""
+        if not 0 <= vaddr < layout.USER_LIMIT:
+            return Resolution(Fault.SEGV)
+        pregion, shared = self.find(vaddr)
+        if pregion is None:
+            grow_target = self._growable_stack(vaddr)
+            if grow_target is not None:
+                target, target_shared = grow_target
+                return Resolution(Fault.GROW, target, -1, target_shared)
+            return Resolution(Fault.SEGV)
+        if write and not pregion.prot & PROT_WRITE:
+            return Resolution(Fault.SEGV, pregion, -1, shared)
+        index = pregion.page_index(vaddr)
+        region = pregion.region
+        if region.pages[index] is None:
+            return Resolution(Fault.ZERO, pregion, index, shared)
+        if write and region.is_cow(index):
+            return Resolution(Fault.COW, pregion, index, shared)
+        return Resolution(Fault.HIT, pregion, index, shared)
+
+    def _growable_stack(self, vaddr: int) -> Optional[Tuple[Pregion, bool]]:
+        """Find a downward-growing pregion that may absorb ``vaddr``.
+
+        The candidate must be the nearest DOWN-growing pregion above the
+        address, and the gap must be within its growth ceiling.
+        """
+        best: Optional[Tuple[Pregion, bool]] = None
+        for pregion, shared in self.iter_pregions():
+            if pregion.growth is not Growth.DOWN:
+                continue
+            if pregion.vlow <= vaddr:
+                continue
+            if best is None or pregion.vlow < best[0].vlow:
+                best = (pregion, shared)
+        if best is not None and best[0].can_grow_down_to(vaddr):
+            return best
+        return None
+
+    # ------------------------------------------------------------------
+    # fault actions (called by the kernel fault handler, under locks)
+
+    def materialize(self, resolution: Resolution, vaddr: int, write: bool) -> Frame:
+        """Perform the page-table mutation a resolution calls for."""
+        kind = resolution.kind
+        if kind is Fault.GROW:
+            resolution.pregion.grow_down_to(vaddr)
+            index = resolution.pregion.page_index(vaddr)
+            return resolution.pregion.region.ensure_page(index)
+        if kind is Fault.ZERO:
+            return resolution.pregion.region.ensure_page(resolution.page_index)
+        if kind is Fault.COW:
+            frame = resolution.pregion.region.break_cow(resolution.page_index)
+            # Other CPUs may cache the old translation.
+            vpn = resolution.pregion.vpn_of(resolution.page_index)
+            self.machine.tlb_flush_page(self.asid, vpn)
+            return frame
+        if kind is Fault.HIT:
+            return resolution.pregion.region.pages[resolution.page_index]
+        raise SimulationError("cannot materialize %r" % resolution)
+
+    def writable_now(self, pregion: Pregion, index: int) -> bool:
+        """May a TLB entry for this page be writable?"""
+        if not pregion.prot & PROT_WRITE:
+            return False
+        return not pregion.region.is_cow(index)
+
+    # ------------------------------------------------------------------
+    # segment setup helpers
+
+    def map_segment(
+        self,
+        vbase: int,
+        nbytes: int,
+        rtype: RegionType,
+        prot: int,
+        growth: Growth = Growth.NONE,
+        max_pages: int = 0,
+        shared: bool = False,
+    ) -> Pregion:
+        """Create a fresh region and attach it at ``vbase``."""
+        npages = (nbytes + PAGE_MASK) >> PAGE_SHIFT
+        region = Region(self.frames, npages, rtype)
+        pregion = Pregion(region, vbase, prot, growth, max_pages)
+        if shared:
+            return self.attach_shared(pregion)
+        return self.attach_private(pregion)
+
+    def alloc_stack_index(self) -> int:
+        if self.shared is not None:
+            return self.shared.alloc_stack_index()
+        index = self._next_stack_index
+        self._next_stack_index += 1
+        return index
+
+    def alloc_map_range(self, nbytes: int) -> int:
+        if self.shared is not None:
+            return self.shared.alloc_map_range(nbytes)
+        nbytes = (nbytes + PAGE_MASK) & ~PAGE_MASK
+        base = self._next_map_base
+        if base + nbytes > layout.MAP_LIMIT:
+            raise MemoryError("mapping arena exhausted")
+        self._next_map_base = base + nbytes
+        return base
+
+    def carve_stack(self, shared: bool) -> Pregion:
+        """Reserve and attach a new downward-growing stack."""
+        max_bytes = (
+            self.shared.stack_max_bytes if self.shared is not None
+            else self.stack_max_bytes
+        )
+        index = self.alloc_stack_index()
+        top = layout.stack_slot(index, max_bytes)
+        initial = layout.INITIAL_STACK_PAGES * PAGE_SIZE
+        vbase = top - initial
+        from repro.mem.pregion import PROT_RW  # local to avoid cycle noise
+
+        return self.map_segment(
+            vbase,
+            initial,
+            RegionType.STACK,
+            PROT_RW,
+            growth=Growth.DOWN,
+            max_pages=max_bytes >> PAGE_SHIFT,
+            shared=shared,
+        )
+
+    # ------------------------------------------------------------------
+    # duplication and teardown
+
+    def dup_cow(self) -> "AddressSpace":
+        """Fork-style duplicate: every visible pregion becomes a private
+        copy-on-write attachment in the child.
+
+        Matches the paper: a ``fork()`` (or non-VM-sharing ``sproc()``)
+        from a share group member *"leaves any visible stack or other
+        regions from the share group as copy-on-write elements of the new
+        process"*.  The caller must flush the parent's TLB afterwards
+        because resident pages became read-only-COW on the parent side
+        too.
+        """
+        child = AddressSpace(self.machine)
+        child.stack_max_bytes = (
+            self.shared.stack_max_bytes if self.shared is not None
+            else self.stack_max_bytes
+        )
+        child._next_stack_index = (
+            self.shared._next_stack_index if self.shared is not None
+            else self._next_stack_index
+        )
+        child._next_map_base = (
+            self.shared._next_map_base if self.shared is not None
+            else self._next_map_base
+        )
+        for pregion, _shared in self.iter_pregions():
+            clone_region = pregion.region.dup_cow()
+            clone = Pregion(
+                clone_region, pregion.vbase, pregion.prot,
+                pregion.growth, pregion.max_pages,
+            )
+            child.private.append(clone)
+        return child
+
+    def cow_pages_made(self) -> int:
+        """Resident pages currently marked COW (for cost accounting)."""
+        return sum(
+            sum(1 for flag in pregion.region.cow if flag)
+            for pregion, _ in self.iter_pregions()
+        )
+
+    def total_pages(self) -> int:
+        return sum(pregion.region.npages for pregion, _ in self.iter_pregions())
+
+    def teardown_private(self) -> None:
+        """Detach every private pregion (process exit / exec)."""
+        for pregion in self.private:
+            pregion.detach()
+        self.private = []
+
+
+def make_region(allocator, nbytes: int, rtype: RegionType) -> Region:
+    """Convenience constructor used by loaders and tests."""
+    npages = (nbytes + PAGE_MASK) >> PAGE_SHIFT
+    return Region(allocator, npages, rtype)

@@ -1,0 +1,61 @@
+"""A spin-then-block lock on a shared word (uses uwait/uwake).
+
+The refinement of the paper's busy-wait argument for the oversubscribed
+case: spin briefly (the common, short-hold path costs nothing extra),
+then ask the kernel to sleep until the holder pokes the word.  When the
+group has more runnable members than processors, this avoids burning
+whole quanta spinning at a descheduled lock holder — the pathology the
+paper's gang-scheduling hint attacks from the scheduler side, solved
+here from the synchronization side.  Experiment E14 compares the two
+regimes.
+
+Word protocol: 0 free, 1 held, 2 held-with-sleepers.
+"""
+
+from __future__ import annotations
+
+_FREE = 0
+_HELD = 1
+_CONTENDED = 2
+
+
+class HybridLock:
+    """Spin-then-block mutual exclusion on one shared word."""
+
+    def __init__(self, vaddr: int, spins: int = 32):
+        self.vaddr = vaddr
+        self.spins = spins
+
+    def acquire(self, api):
+        """Generator: take the lock, sleeping in the kernel if contended."""
+        observed = yield from api.cas(self.vaddr, _FREE, _HELD)
+        if observed == _FREE:
+            return
+        while True:
+            # brief optimistic spin (the paper's fast path)
+            for _ in range(self.spins):
+                observed = yield from api.cas(self.vaddr, _FREE, _HELD)
+                if observed == _FREE:
+                    return
+            # mark contended and sleep until the holder wakes us
+            observed = yield from api.cas(self.vaddr, _HELD, _CONTENDED)
+            if observed == _FREE:
+                observed = yield from api.cas(self.vaddr, _FREE, _HELD)
+                if observed == _FREE:
+                    return
+                continue
+            yield from api.uwait(self.vaddr, _CONTENDED)
+            # raced awake: try to grab, claiming contended state so the
+            # unlocker keeps waking others
+            observed = yield from api.cas(self.vaddr, _FREE, _CONTENDED)
+            if observed == _FREE:
+                return
+
+    def release(self, api):
+        """Generator: free the lock; wake one sleeper if any."""
+        observed = yield from api.cas(self.vaddr, _HELD, _FREE)
+        if observed == _HELD:
+            return
+        # contended: clear and wake one sleeper to take over
+        yield from api.store_word(self.vaddr, _FREE)
+        yield from api.uwake(self.vaddr, 1)

@@ -1,0 +1,109 @@
+"""A user-level allocator over a shared mapping.
+
+Share-group programs need somewhere to put shared data structures; this
+is the library's equivalent of a shared-arena ``malloc``.  The arena is
+any mapping obtained from ``api.mmap`` (visible to the whole group when
+the VM is shared).  Allocation is a locked bump pointer with an explicit
+LIFO free list per size class — simple, deterministic and entirely inside
+guest memory, so every allocation exercises the real sharing machinery.
+
+Arena layout (word offsets from base):
+
+====== ===========================================
+0      lock word
+4      bump offset (bytes from base)
+8      arena size (bytes)
+12..44 free-list heads for the 8 size classes
+====== ===========================================
+"""
+
+from __future__ import annotations
+
+from repro.runtime.ulocks import USpinLock
+
+_HEADER_BYTES = 48
+#: size classes in bytes (allocations round up to one of these)
+SIZE_CLASSES = (16, 32, 64, 128, 256, 1024, 4096, 16384)
+
+
+def _class_index(nbytes: int) -> int:
+    for index, size in enumerate(SIZE_CLASSES):
+        if nbytes <= size:
+            return index
+    raise ValueError("allocation of %d bytes exceeds largest class" % nbytes)
+
+
+class Arena:
+    """Handle to a shared arena.  All methods are generators."""
+
+    def __init__(self, base: int, size: int):
+        self.base = base
+        self.size = size
+        self.lock = USpinLock(base)
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, api, size: int = 256 * 1024):
+        """Generator: map a fresh arena and initialize its header."""
+        base = yield from api.mmap(size)
+        arena = cls(base, size)
+        yield from api.store_word(base + 4, _HEADER_BYTES)
+        yield from api.store_word(base + 8, size)
+        for index in range(len(SIZE_CLASSES)):
+            yield from api.store_word(base + 12 + 4 * index, 0)
+        return arena
+
+    @classmethod
+    def attach(cls, api, base: int):
+        """Generator: bind to an arena created by another group member."""
+        size = yield from api.load_word(base + 8)
+        return cls(base, size)
+
+    # ------------------------------------------------------------------
+
+    def alloc(self, api, nbytes: int):
+        """Generator: allocate; returns the block's virtual address.
+
+        Each block is preceded by a 16-byte header holding its size
+        class (used for free-list reuse and next-pointer linkage).
+        """
+        index = _class_index(nbytes)
+        block_size = SIZE_CLASSES[index] + 16
+        head_addr = self.base + 12 + 4 * index
+        yield from self.lock.acquire(api)
+        try:
+            head = yield from api.load_word(head_addr)
+            if head != 0:
+                next_block = yield from api.load_word(head)
+                yield from api.store_word(head_addr, next_block)
+                yield from api.store_word(head + 4, index)
+                return head + 16
+            bump = yield from api.load_word(self.base + 4)
+            if bump + block_size > self.size:
+                raise MemoryError("shared arena exhausted")
+            yield from api.store_word(self.base + 4, bump + block_size)
+            block = self.base + bump
+            yield from api.store_word(block + 4, index)
+            return block + 16
+        finally:
+            yield from self.lock.release(api)
+
+    def free(self, api, vaddr: int):
+        """Generator: return a block to its size-class free list."""
+        block = vaddr - 16
+        index = yield from api.load_word(block + 4)
+        head_addr = self.base + 12 + 4 * index
+        yield from self.lock.acquire(api)
+        try:
+            head = yield from api.load_word(head_addr)
+            yield from api.store_word(block, head)
+            yield from api.store_word(head_addr, block)
+        finally:
+            yield from self.lock.release(api)
+
+    def alloc_words(self, api, nwords: int):
+        """Generator: allocate and zero ``nwords`` 32-bit words."""
+        vaddr = yield from self.alloc(api, nwords * 4)
+        yield from api.store(vaddr, b"\x00" * (nwords * 4))
+        return vaddr

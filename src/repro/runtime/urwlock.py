@@ -1,0 +1,105 @@
+"""A user-level reader-writer lock on shared memory.
+
+The same shape as the kernel's shared read lock (section 6.2) — many
+readers, one writer, writer waits for readers to drain — but implemented
+entirely with user-mode atomics, so share-group applications can protect
+their own read-mostly structures without kernel entries.
+
+Layout: one word.  Value ``-1`` (stored as 0xFFFFFFFF) means a writer
+holds the lock; ``0`` free; ``n > 0`` means ``n`` readers.
+"""
+
+from __future__ import annotations
+
+_WRITER = 0xFFFFFFFF
+
+
+class URWLock:
+    """Reader-preference user rwlock (mirrors the paper's kernel lock)."""
+
+    def __init__(self, vaddr: int, spins_before_yield: int = 64):
+        self.vaddr = vaddr
+        self.spins_before_yield = spins_before_yield
+
+    def _backoff(self, api, polls: int):
+        if polls and polls % self.spins_before_yield == 0:
+            yield from api.yield_cpu()
+
+    def acquire_read(self, api):
+        """Generator: join the readers (spins out any writer)."""
+        polls = 0
+        while True:
+            value = yield from api.load_word(self.vaddr)
+            if value != _WRITER:
+                observed = yield from api.cas(self.vaddr, value, value + 1)
+                if observed == value:
+                    return
+            polls += 1
+            yield from self._backoff(api, polls)
+
+    def release_read(self, api):
+        """Generator: leave the readers."""
+        while True:
+            value = yield from api.load_word(self.vaddr)
+            observed = yield from api.cas(self.vaddr, value, value - 1)
+            if observed == value:
+                return
+
+    def acquire_write(self, api):
+        """Generator: wait until free, then take exclusively."""
+        polls = 0
+        while True:
+            observed = yield from api.cas(self.vaddr, 0, _WRITER)
+            if observed == 0:
+                return
+            polls += 1
+            yield from self._backoff(api, polls)
+
+    def release_write(self, api):
+        """Generator: drop exclusivity."""
+        yield from api.store_word(self.vaddr, 0)
+
+    def readers(self, api):
+        """Generator: current reader count (0 if writer or free)."""
+        value = yield from api.load_word(self.vaddr)
+        return 0 if value == _WRITER else value
+
+
+class USema:
+    """A counting semaphore on one shared word (busy-waiting down)."""
+
+    def __init__(self, vaddr: int, spins_before_yield: int = 64):
+        self.vaddr = vaddr
+        self.spins_before_yield = spins_before_yield
+
+    def init(self, api, value: int):
+        yield from api.store_word(self.vaddr, value)
+
+    def down(self, api):
+        """Generator: decrement, spinning while the count is zero."""
+        polls = 0
+        while True:
+            value = yield from api.load_word(self.vaddr)
+            if value > 0:
+                observed = yield from api.cas(self.vaddr, value, value - 1)
+                if observed == value:
+                    return
+            polls += 1
+            if polls % self.spins_before_yield == 0:
+                yield from api.yield_cpu()
+
+    def try_down(self, api):
+        """Generator: one attempt; True on success."""
+        value = yield from api.load_word(self.vaddr)
+        if value <= 0:
+            return False
+        observed = yield from api.cas(self.vaddr, value, value - 1)
+        return observed == value
+
+    def up(self, api):
+        """Generator: increment (never blocks)."""
+        yield from api.fetch_add(self.vaddr, 1)
+
+    def value(self, api):
+        result = yield from api.load_word(self.vaddr)
+        return result

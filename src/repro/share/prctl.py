@@ -1,0 +1,112 @@
+"""The ``prctl()`` system call (paper section 5.2), plus extensions.
+
+Paper-defined options:
+
+``PR_MAXPROCS``
+    Limit on processes per user.
+``PR_MAXPPROCS``
+    Number of processes the system can run in parallel (the CPU count) —
+    parallel programs size their self-scheduling pools with this.
+``PR_SETSTACKSIZE`` / ``PR_GETSTACKSIZE``
+    Maximum stack size for the current process; inherited across
+    ``sproc()`` and ``fork()`` and used to lay out the shared VM image.
+
+Extensions implemented from the paper's section 8 (future directions),
+clearly marked as such:
+
+``PR_GETNSHARE``
+    Number of members in the caller's share group (0 if none).
+``PR_SETGANG`` / ``PR_GETGANG``
+    Gang-scheduling hint for the whole group.
+``PR_UNSHARE``
+    Stop sharing the non-VM resources named by the mask argument.
+``PR_GETSHMASK``
+    The caller's current share mask.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EINVAL, SysError
+from repro.mem.frames import PAGE_SIZE
+from repro.share.mask import PR_SADDR
+from repro.sim.effects import kdelay
+
+PR_MAXPROCS = 1
+PR_MAXPPROCS = 2
+PR_SETSTACKSIZE = 3
+PR_GETSTACKSIZE = 4
+
+# --- extensions (not in the 1988 interface) ---------------------------
+PR_GETNSHARE = 100
+PR_SETGANG = 101
+PR_GETGANG = 102
+PR_UNSHARE = 103
+PR_GETSHMASK = 104
+#: set every member's scheduling priority at once (section 8: "the
+#: priority of the whole group could be raised or lowered")
+PR_SETGROUPPRI = 105
+#: suspend / resume every *other* member (section 8: "a whole process
+#: group could be conveniently blocked or unblocked")
+PR_BLOCKGRP = 106
+PR_UNBLKGRP = 107
+
+#: smallest stack reservation prctl will accept
+MIN_STACK = 4 * PAGE_SIZE
+
+
+def prctl(kernel, proc, option: int, value: int = 0, value2: int = 0):
+    """Generator implementing the prctl dispatch."""
+    yield kdelay(kernel.costs.flag_batch_test)
+    if option == PR_MAXPROCS:
+        return kernel.proc_table.max_procs
+    if option == PR_MAXPPROCS:
+        return kernel.machine.ncpus
+    if option == PR_GETSTACKSIZE:
+        return proc.uarea.stack_max
+    if option == PR_SETSTACKSIZE:
+        if value < MIN_STACK:
+            raise SysError(EINVAL, "stack size too small")
+        proc.uarea.stack_max = int(value)
+        return int(value)
+    if option == PR_GETNSHARE:
+        return proc.shaddr.s_refcnt if proc.shaddr is not None else 0
+    if option == PR_SETGANG:
+        if proc.shaddr is None:
+            raise SysError(EINVAL, "not in a share group")
+        proc.shaddr.gang = bool(value)
+        return 0
+    if option == PR_GETGANG:
+        if proc.shaddr is None:
+            return 0
+        return 1 if proc.shaddr.gang else 0
+    if option == PR_UNSHARE:
+        if proc.shaddr is None:
+            raise SysError(EINVAL, "not in a share group")
+        if value & PR_SADDR:
+            raise SysError(EINVAL, "cannot stop sharing the address space")
+        proc.p_shmask &= ~value
+        return proc.p_shmask
+    if option == PR_GETSHMASK:
+        return proc.p_shmask if proc.shaddr is not None else 0
+    if option in (PR_BLOCKGRP, PR_UNBLKGRP):
+        if proc.shaddr is None:
+            raise SysError(EINVAL, "not in a share group")
+        for member in proc.shaddr.other_members(proc):
+            if option == PR_BLOCKGRP:
+                yield from kernel.sys_blockproc(proc, member.pid)
+            else:
+                yield from kernel.sys_unblockproc(proc, member.pid)
+        return 0
+    if option == PR_SETGROUPPRI:
+        if proc.shaddr is None:
+            raise SysError(EINVAL, "not in a share group")
+        if not 0 <= value <= 39:
+            raise SysError(EINVAL, "priority out of range")
+        if value < proc.pri and proc.uarea.uid != 0:
+            from repro.errors import EPERM
+
+            raise SysError(EPERM, "only root may raise priority")
+        for member in proc.shaddr.members():
+            member.pri = int(value)
+        return int(value)
+    raise SysError(EINVAL, "unknown prctl option %d" % option)

@@ -1,0 +1,121 @@
+"""Non-VM resource sharing: the sync-on-kernel-entry machinery.
+
+Paper section 6.3.  Unlike virtual memory, resources such as the open
+file table live in the u-area and are invisible outside the kernel, so
+they only need to be consistent when a member *enters* the kernel.  The
+protocol:
+
+1. A member modifying a shared resource first checks its own
+   ``p_shmask`` to see that it shares it; then takes the block's update
+   lock, re-synchronizes itself if its own sync bits are set (the
+   "second updater" race in the paper), applies the modification to its
+   u-area *and* to the block's authoritative copy, and finally sets the
+   per-resource sync bit in every other sharing member's ``p_flag``.
+2. At kernel entry every member's sync bits are tested *in a single
+   batched check*; only when one is set does :func:`sync_on_entry` run
+   and copy the changed resources from the block back into the u-area.
+"""
+
+from __future__ import annotations
+
+from repro.kernel import flags
+from repro.share import mask as sm
+from repro.sim.effects import kdelay
+
+
+def set_sync_bits(shaddr, modifier, pr_bit: int) -> int:
+    """Flag every *other* sharing member for resynchronization.
+
+    Returns the number of members flagged (the update cost scales with
+    group size — experiment E3 measures this).
+    """
+    sync_bit = sm.NONVM_SYNC_BITS[pr_bit]
+    flagged = 0
+    for member in shaddr.other_members(modifier):
+        if member.p_shmask & pr_bit:
+            member.p_flag |= sync_bit
+            flagged += 1
+    return flagged
+
+
+def sync_on_entry(kernel, proc):
+    """Generator: copy flagged resources from the shaddr into the u-area.
+
+    Called from the syscall trampoline only when the batched flag test
+    fired.  Charges one ``resource_sync`` per resource brought up to
+    date.
+    """
+    shaddr = proc.shaddr
+    bits = proc.p_flag & flags.ALL_SYNC
+    proc.p_flag &= ~flags.ALL_SYNC
+    if shaddr is None or not bits:
+        return 0
+    costs = kernel.costs
+    synced = 0
+    if bits & flags.SFDSYNC:
+        yield kdelay(costs.resource_sync)
+        proc.uarea.fdtable.sync_from(shaddr.s_ofile, dispose=kernel.dispose_file)
+        synced += 1
+    if bits & flags.SDIRSYNC:
+        yield kdelay(costs.resource_sync)
+        proc.uarea.set_cdir(shaddr.s_cdir)
+        proc.uarea.set_rdir(shaddr.s_rdir)
+        synced += 1
+    if bits & flags.SIDSYNC:
+        yield kdelay(costs.resource_sync)
+        proc.uarea.uid = shaddr.s_uid
+        proc.uarea.gid = shaddr.s_gid
+        synced += 1
+    if bits & flags.SUMASKSYNC:
+        yield kdelay(costs.resource_sync)
+        proc.uarea.cmask = shaddr.s_cmask
+        synced += 1
+    if bits & flags.SULIMITSYNC:
+        yield kdelay(costs.resource_sync)
+        proc.uarea.ulimit = shaddr.s_limit
+        synced += 1
+    shaddr.syncs += synced
+    return synced
+
+
+def update_misc(kernel, proc, pr_bit: int, apply_fn):
+    """Generator: the modification protocol for spinlock-guarded resources
+    (directories, ids, umask, ulimit).
+
+    ``apply_fn(shaddr)`` performs the u-area change and refreshes the
+    block's copy; it runs with ``s_rupdlock`` held.
+    """
+    shaddr = proc.shaddr
+    yield from shaddr.s_rupdlock.acquire(proc)
+    try:
+        # The lock stopped us while someone else updated: sync first so
+        # we do not overwrite their change with stale values.
+        yield from sync_on_entry(kernel, proc)
+        apply_fn(shaddr)
+        flagged = set_sync_bits(shaddr, proc, pr_bit)
+        yield kdelay(kernel.costs.resource_sync + flagged)
+    finally:
+        shaddr.s_rupdlock.release()
+
+
+def update_files(kernel, proc, apply_fn):
+    """Generator: the modification protocol for the open file table.
+
+    File updates can block (an ``open`` may sleep on I/O), so they are
+    single-threaded through the sleeping semaphore ``s_fupdsema`` rather
+    than a spin lock.  ``apply_fn()`` performs the descriptor-table
+    change and returns its result; the refreshed table is then copied
+    into ``s_ofile`` and the other members flagged.
+    """
+    shaddr = proc.shaddr
+    yield from shaddr.s_fupdsema.p(proc)
+    try:
+        yield from sync_on_entry(kernel, proc)
+        result = yield from apply_fn()
+        shaddr.update_ofile(proc.uarea.fdtable, dispose=kernel.dispose_file)
+        shaddr.updates["fds"] += 1
+        flagged = set_sync_bits(shaddr, proc, sm.PR_SFDS)
+        yield kdelay(kernel.costs.resource_sync + flagged)
+        return result
+    finally:
+        shaddr.s_fupdsema.v()

@@ -1,0 +1,79 @@
+"""Shared virtual memory management for share groups (paper section 6.2).
+
+The shared pregion list lives in the shared address block and is guarded
+by the shared read lock: scans (page faults, the pager) take it for
+read; anything that changes the list *or what it points to* — fork,
+exec, mmap, sbrk, region shrink — takes it for update.
+
+Deleting or shrinking address space additionally performs a synchronous
+TLB shootdown while holding the update lock, so a member running on
+another CPU immediately TLB-misses, traps, and blocks on the read lock
+until the pages are really gone.  That is the only expensive VM
+operation in the design, which experiment E5 demonstrates.
+"""
+
+from __future__ import annotations
+
+from repro.mem.region import RegionType
+from repro.sim.effects import kdelay
+
+
+def sharing_vm(proc) -> bool:
+    """Is this process running on a share group's shared VM image?"""
+    return proc.shaddr is not None and proc.vm.shared is proc.shaddr.shared_vm
+
+
+def read_acquire(proc):
+    """Generator: take the group's shared read lock (no-op off-group)."""
+    if sharing_vm(proc):
+        yield from proc.shaddr.vm_lock.acquire_read(proc)
+
+
+def read_release(proc):
+    if sharing_vm(proc):
+        yield from proc.shaddr.vm_lock.release_read(proc)
+
+
+def update_acquire(proc):
+    if sharing_vm(proc):
+        yield from proc.shaddr.vm_lock.acquire_update(proc)
+
+
+def update_release(proc):
+    if sharing_vm(proc):
+        yield from proc.shaddr.vm_lock.release_update(proc)
+
+
+def shootdown(kernel, proc):
+    """Generator: synchronous all-CPU TLB flush for this address space.
+
+    Must be called with the update lock held.  The initiator pays the
+    full cross-CPU cost — nobody else waits for anything except the lock.
+    """
+    cost = kernel.machine.tlb_shootdown(proc.vm.asid)
+    kernel.stats["shootdowns"] += 1
+    yield kdelay(cost)
+
+
+def move_pregions_to_shared(proc) -> int:
+    """Group creation: migrate the creator's sharable pregions.
+
+    Everything except the PRDA moves from the private list to the shared
+    list (the paper: "all of its sharable pregions are moved to the list
+    of pregions in the shared address block"; private text planted by a
+    debugger would also stay, which we model by keeping anything the
+    caller marked non-sharable).
+    Returns the number of pregions moved.
+    """
+    shared_vm = proc.shaddr.shared_vm
+    keep = []
+    moved = 0
+    for pregion in proc.vm.private:
+        if pregion.rtype is RegionType.PRDA:
+            keep.append(pregion)
+        else:
+            shared_vm.pregions.append(pregion)
+            moved += 1
+    proc.vm.private = keep
+    proc.vm.shared = shared_vm
+    return moved

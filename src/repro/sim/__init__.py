@@ -1,0 +1,22 @@
+"""Simulated hardware: event engine, cycle costs, CPUs, TLBs, machine."""
+
+from repro.sim.costs import CostModel, default_costs
+from repro.sim.effects import Block, Delay, Yield, kdelay, udelay
+from repro.sim.engine import Engine, Event
+from repro.sim.machine import Machine
+from repro.sim.tlb import TLB, TLBEntry
+
+__all__ = [
+    "Block",
+    "CostModel",
+    "Delay",
+    "Engine",
+    "Event",
+    "Machine",
+    "TLB",
+    "TLBEntry",
+    "Yield",
+    "default_costs",
+    "kdelay",
+    "udelay",
+]

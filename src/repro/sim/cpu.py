@@ -1,0 +1,240 @@
+"""The CPU: drives one process's generator stack and interprets effects.
+
+Each simulated process carries a stack of generator *frames*
+(``proc.frames``).  The bottom frame is the process driver created by the
+kernel (user program plus implicit exit); additional frames are pushed to
+run asynchronously delivered signal handlers.  The CPU repeatedly resumes
+the top frame, interprets the effect it yields, and schedules the next
+resumption on the discrete-event engine.
+
+User-mode delays are chunked at quantum boundaries.  At every user-mode
+boundary the CPU lets the kernel deliver pending signals and honors
+preemption requests; kernel-mode execution is never preempted, which is
+the classic System V invariant the paper leans on (section 6).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.sim.effects import Block, Delay, ExecImage, Yield
+from repro.sim.tlb import TLB
+
+
+class CPU:
+    """One processor of the simulated multiprocessor."""
+
+    def __init__(self, idx: int, machine, tlb_capacity: int = 64):
+        self.idx = idx
+        self.machine = machine
+        self.engine = machine.engine
+        self.costs = machine.costs
+        self.tlb = TLB(tlb_capacity)
+        self.current = None  #: the proc executing on this CPU, or None
+        self.kernel = None  #: set by Kernel.boot()
+        self.dispatcher = None  #: set by the scheduler at boot
+        self._last_asid: Optional[int] = None
+        # statistics
+        self.busy_cycles = 0
+        self.switches = 0
+        self.dispatches = 0
+        self.preemptions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = self.current.pid if self.current is not None else "idle"
+        return "<CPU%d %s>" % (self.idx, running)
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def assign(self, proc) -> None:
+        """Start running ``proc`` on this CPU.
+
+        Charges the dispatch cost plus a context-switch cost that depends
+        on whether the incoming process uses the same address space as
+        the previous one (share-group members share an ASID, so switching
+        between them is cheap and keeps the TLB warm).
+        """
+        if self.current is not None:
+            raise SimulationError("CPU%d assign while busy" % self.idx)
+        self.current = proc
+        proc.cpu = self
+        proc.need_resched = False
+        proc.quantum_left = self.costs.quantum
+        self.dispatches += 1
+        cost = self.costs.dispatch
+        asid = proc.asid()
+        if asid != self._last_asid:
+            cost += self.costs.context_switch
+            self.switches += 1
+        else:
+            cost += self.costs.context_switch_same_as
+        self._last_asid = asid
+        self._charge(cost)
+        if self.kernel is not None and getattr(self.kernel, "tracer", None) is not None:
+            self.kernel.tracer.record("dispatch", proc.pid, "cpu%d" % self.idx)
+        self.engine.schedule(cost, self._dispatch_boundary)
+
+    def _dispatch_boundary(self) -> None:
+        """First boundary after dispatch: continue where the proc left off."""
+        proc = self.current
+        value = proc.resume_value
+        proc.resume_value = None
+        self._boundary(value)
+
+    # ------------------------------------------------------------------
+    # interpreter
+
+    def _resume(self, value=None, exc: Optional[BaseException] = None) -> None:
+        """Advance the current process's top frame by one effect."""
+        proc = self.current
+        if proc is None:
+            raise SimulationError("CPU%d resume with no current proc" % self.idx)
+        frame = proc.frames[-1]
+        try:
+            if exc is not None:
+                effect = frame.throw(exc)
+            else:
+                effect = frame.send(value)
+        except StopIteration:
+            self._frame_done(proc)
+            return
+        except ExecImage as image:
+            # exec(): throw away the old image, start the new driver.
+            proc.frames = [image.driver]
+            proc.saved_resume = []
+            self.engine.call_soon(lambda: self._resume(None))
+            return
+        except SimulationError:
+            raise
+        except Exception as exc:
+            # An uncaught exception in guest or kernel code is a bug in
+            # the workload (or in us); wrap it with enough context to
+            # find the culprit, keeping the original traceback chained.
+            raise SimulationError(
+                "pid %d (%s) crashed on CPU%d at cycle %d: %r"
+                % (proc.pid, proc.name, self.idx, self.engine.now, exc)
+            ) from exc
+        self._interpret(proc, effect)
+
+    def _frame_done(self, proc) -> None:
+        """The top frame ran to completion."""
+        proc.frames.pop()
+        if proc.frames:
+            saved = proc.saved_resume.pop()
+            self.engine.call_soon(lambda: self._boundary(saved))
+        else:
+            # The driver fell off the end without exiting; the kernel
+            # turns that into an implicit exit(0).
+            proc.frames.append(self.kernel.exit_generator(proc, 0))
+            self.engine.call_soon(lambda: self._resume(None))
+
+    def _interpret(self, proc, effect) -> None:
+        if type(effect) is Delay:
+            if effect.user:
+                self._user_delay(proc, effect.cycles)
+            else:
+                self._charge(effect.cycles)
+                self.engine.schedule(effect.cycles, lambda: self._resume(None))
+            return
+        if type(effect) is Block:
+            self._deschedule(proc)
+            return
+        if type(effect) is Yield:
+            if self.dispatcher is not None and self.dispatcher.has_runnable():
+                self._preempt(proc, resume_value=None)
+            else:
+                # sched_yield with an empty run queue: stay on the CPU
+                cost = self.costs.spin_poll
+                self._charge(cost)
+                self.engine.schedule(cost, lambda: self._boundary(None))
+            return
+        raise SimulationError("unknown effect %r from pid %s" % (effect, proc.pid))
+
+    # ------------------------------------------------------------------
+    # user-mode execution
+
+    def _user_delay(self, proc, cycles: int) -> None:
+        """Burn preemptible user cycles, chunked at the quantum.
+
+        The unburned remainder travels *inside* the resume token, never
+        in shared per-proc state: a signal handler pushed at the chunk
+        boundary may run its own chunked delays without clobbering the
+        interrupted computation's remainder.
+        """
+        chunk = min(cycles, max(proc.quantum_left, 1))
+        proc.quantum_left -= chunk
+        remaining = cycles - chunk
+        self._charge(chunk)
+        if remaining > 0:
+            token = _ContinueDelay(remaining)
+            self.engine.schedule(chunk, lambda: self._boundary(token))
+        else:
+            self.engine.schedule(chunk, lambda: self._boundary(None))
+
+    def _boundary(self, resume_value) -> None:
+        """A user-mode boundary: deliver signals, honor preemption, resume."""
+        proc = self.current
+        if proc is None:
+            raise SimulationError("CPU%d boundary with no current proc" % self.idx)
+        delivery = self.kernel.user_boundary(proc) if self.kernel is not None else None
+        if delivery is not None:
+            proc.saved_resume.append(resume_value)
+            proc.frames.append(delivery)
+            self.engine.call_soon(lambda: self._resume(None))
+            return
+        if proc.quantum_left <= 0:
+            proc.quantum_left = self.costs.quantum
+            if self.dispatcher is not None and self.dispatcher.should_preempt(self, proc):
+                self.preemptions += 1
+                self._preempt(proc, resume_value)
+                return
+        if proc.need_resched:
+            self.preemptions += 1
+            self._preempt(proc, resume_value)
+            return
+        self._continue(proc, resume_value)
+
+    def _continue(self, proc, resume_value) -> None:
+        if type(resume_value) is _ContinueDelay:
+            self._user_delay(proc, resume_value.remaining)
+        else:
+            self._resume(resume_value)
+
+    # ------------------------------------------------------------------
+    # leaving the CPU
+
+    def _preempt(self, proc, resume_value) -> None:
+        """Put ``proc`` back on the run queue and go idle."""
+        proc.resume_value = resume_value
+        proc.need_resched = False
+        self.current = None
+        proc.cpu = None
+        self.dispatcher.requeue(proc)
+        self.dispatcher.cpu_idle(self)
+
+    def _deschedule(self, proc) -> None:
+        """The process blocked; free the CPU."""
+        self.current = None
+        proc.cpu = None
+        self.dispatcher.cpu_idle(self)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    def _charge(self, cycles: int) -> None:
+        self.busy_cycles += cycles
+
+
+class _ContinueDelay:
+    """Resume token: the process was interrupted mid user-delay and
+    still owes ``remaining`` cycles of it."""
+
+    __slots__ = ("remaining",)
+
+    def __init__(self, remaining: int):
+        self.remaining = remaining
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<continue-delay %d>" % self.remaining

@@ -1,0 +1,86 @@
+"""Primitive effects yielded by simulated code.
+
+Simulated programs — both user programs and kernel code paths — are
+Python generators.  They interact with the machine by yielding *effects*,
+which the CPU interpreter (:mod:`repro.sim.cpu`) executes:
+
+``Delay``
+    Consume cycles on the current CPU.  User-mode delays are preemptible
+    (they are chunked at quantum boundaries and signal delivery happens
+    between chunks); kernel-mode delays are not, matching the System V.3
+    rule that kernel code is never preempted on its own CPU.
+
+``Block``
+    Give up the CPU without becoming runnable.  The yielding code must
+    already have registered the process on some wait queue (a semaphore,
+    a sleep channel, a zombie list); somebody else's ``wakeup`` makes it
+    runnable again.
+
+``Yield``
+    Voluntarily return to the run queue (used by ``sched_yield``-style
+    paths and the preemption machinery).
+
+Because the discrete-event engine runs exactly one effect at a time,
+state mutations performed *between* yields are atomic — this is how the
+simulation models atomic instructions and interlocked bus operations.
+"""
+
+from __future__ import annotations
+
+
+class Effect:
+    __slots__ = ()
+
+
+class Delay(Effect):
+    """Consume ``cycles`` on the current CPU."""
+
+    __slots__ = ("cycles", "user")
+
+    def __init__(self, cycles: int, user: bool = False):
+        self.cycles = int(cycles)
+        self.user = user
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Delay %d %s>" % (self.cycles, "user" if self.user else "kernel")
+
+
+class Block(Effect):
+    """Deschedule until an external ``wakeup``.  ``reason`` aids debugging."""
+
+    __slots__ = ("reason",)
+
+    def __init__(self, reason: str = ""):
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Block %s>" % (self.reason or "?")
+
+
+class Yield(Effect):
+    """Voluntarily relinquish the CPU but stay runnable."""
+
+    __slots__ = ()
+
+
+class ExecImage(Exception):
+    """Control transfer raised by ``exec``: replace the process driver.
+
+    The CPU interpreter catches this, discards the process's entire
+    generator stack (the old program image), and installs ``driver`` as
+    the new bottom frame.
+    """
+
+    def __init__(self, driver):
+        self.driver = driver
+        super().__init__("exec image replacement")
+
+
+def kdelay(cycles: int) -> Delay:
+    """A kernel-mode (non-preemptible) delay."""
+    return Delay(cycles, user=False)
+
+
+def udelay(cycles: int) -> Delay:
+    """A user-mode (preemptible) delay."""
+    return Delay(cycles, user=True)

@@ -1,0 +1,101 @@
+"""The simulated multiprocessor: CPUs, physical memory, ASIDs, shootdowns.
+
+The machine is deliberately close to the paper's target: a MIPS R2000
+based shared-memory multiprocessor with per-CPU software-managed TLBs.
+The kernel object (:mod:`repro.kernel.kernel`) is built on top of one
+machine and wires itself into every CPU at boot.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.mem.frames import FrameAllocator, PAGE_SIZE
+from repro.sim.costs import CostModel, default_costs
+from repro.sim.cpu import CPU
+from repro.sim.engine import Engine
+
+
+class Machine:
+    """N CPUs sharing a physical memory and a cycle-accurate event clock."""
+
+    def __init__(
+        self,
+        ncpus: int = 4,
+        memory_bytes: int = 32 * 1024 * 1024,
+        costs: Optional[CostModel] = None,
+        tlb_capacity: int = 64,
+    ):
+        if ncpus <= 0:
+            raise ValueError("need at least one CPU")
+        self.engine = Engine()
+        self.costs = costs if costs is not None else default_costs()
+        self.costs.validate()
+        self.frames = FrameAllocator(memory_bytes // PAGE_SIZE)
+        self.cpus: List[CPU] = [CPU(i, self, tlb_capacity) for i in range(ncpus)]
+        self._next_asid = 0
+        self.shootdowns = 0
+
+    @property
+    def ncpus(self) -> int:
+        return len(self.cpus)
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # address-space IDs
+
+    def alloc_asid(self) -> int:
+        """Allocate a fresh address-space ID.
+
+        Real R2000 hardware has 64 ASIDs and recycles them with a global
+        flush; the simulation never recycles (IDs are unbounded ints) but
+        keeps the per-address-space keying, which is what matters for the
+        share-group warm-TLB effect.
+        """
+        self._next_asid += 1
+        return self._next_asid
+
+    # ------------------------------------------------------------------
+    # TLB maintenance
+
+    def shootdown_cost(self) -> int:
+        """Cycles the initiator pays for a synchronous all-CPU flush."""
+        return self.costs.tlb_shootdown_percpu * self.ncpus
+
+    def tlb_shootdown(self, asid: Optional[int] = None) -> int:
+        """Synchronously flush every CPU's TLB (section 6.2 of the paper).
+
+        Performed while the caller holds the shared pregion update lock:
+        any running group member immediately TLB-misses, traps into the
+        kernel, and blocks on the shared read lock until the update is
+        done.  Returns the cycle cost the initiator must charge.
+        """
+        for cpu in self.cpus:
+            if asid is None:
+                cpu.tlb.flush_all()
+            else:
+                cpu.tlb.flush_asid(asid)
+            cpu.tlb.shootdowns += 1
+        self.shootdowns += 1
+        return self.shootdown_cost()
+
+    def tlb_flush_page(self, asid: int, vpn: int) -> None:
+        """Drop one translation everywhere (cheap, used on COW breaks)."""
+        for cpu in self.cpus:
+            cpu.tlb.flush_page(asid, vpn)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def idle_cpus(self) -> List[CPU]:
+        return [cpu for cpu in self.cpus if cpu.current is None]
+
+    def utilization(self) -> float:
+        """Mean fraction of elapsed cycles the CPUs spent busy."""
+        if self.engine.now == 0:
+            return 0.0
+        busy = sum(cpu.busy_cycles for cpu in self.cpus)
+        return busy / (self.engine.now * self.ncpus)

@@ -1,0 +1,121 @@
+"""Software-managed translation lookaside buffer.
+
+The paper's target processor is the MIPS R2000, whose TLB is refilled by
+software and can be flushed under kernel control.  Share groups exploit
+this (section 6.2): before shrinking or detaching a shared region the
+kernel *synchronously* flushes the TLBs of all processors, so any running
+group member immediately takes a TLB-miss trap and blocks on the shared
+read lock until the update is complete.
+
+Entries are keyed by ``(asid, vpn)``.  All members of a share group run
+with the same address-space ID, so switching between members leaves their
+shared translations warm — one of the quiet wins of the design.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+
+class TLBEntry:
+    __slots__ = ("asid", "vpn", "pfn", "writable")
+
+    def __init__(self, asid: int, vpn: int, pfn: int, writable: bool):
+        self.asid = asid
+        self.vpn = vpn
+        self.pfn = pfn
+        self.writable = writable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "rw" if self.writable else "ro"
+        return "<TLBEntry asid=%d vpn=%#x pfn=%d %s>" % (self.asid, self.vpn, self.pfn, mode)
+
+
+class TLB:
+    """A fixed-capacity, FIFO-replacement, software-refilled TLB.
+
+    The R2000 replaces entries via a hardware random register; we use FIFO
+    so simulations are deterministic.  Statistics are kept so experiments
+    can report hit rates and shootdown counts.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity <= 0:
+            raise ValueError("TLB capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Tuple[int, int], TLBEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+        self.shootdowns = 0
+
+    # ------------------------------------------------------------------
+    # lookup / refill
+
+    def lookup(self, asid: int, vpn: int) -> Optional[TLBEntry]:
+        """Probe the TLB.  Updates hit/miss statistics."""
+        entry = self._entries.get((asid, vpn))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def probe(self, asid: int, vpn: int) -> Optional[TLBEntry]:
+        """Look up without touching statistics (for assertions/tests)."""
+        return self._entries.get((asid, vpn))
+
+    def insert(self, asid: int, vpn: int, pfn: int, writable: bool) -> TLBEntry:
+        """Install a translation, evicting the oldest entry if full."""
+        key = (asid, vpn)
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        entry = TLBEntry(asid, vpn, pfn, writable)
+        self._entries[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # invalidation
+
+    def flush_all(self) -> None:
+        """Drop every translation (global flush)."""
+        self._entries.clear()
+        self.flushes += 1
+
+    def flush_asid(self, asid: int) -> None:
+        """Drop all translations for one address space."""
+        stale = [key for key in self._entries if key[0] == asid]
+        for key in stale:
+            del self._entries[key]
+        self.flushes += 1
+
+    def flush_page(self, asid: int, vpn: int) -> None:
+        """Drop a single translation if present."""
+        self._entries.pop((asid, vpn), None)
+
+    def flush_range(self, asid: int, vpn_lo: int, vpn_hi: int) -> None:
+        """Drop translations for ``vpn_lo <= vpn < vpn_hi`` in one space."""
+        stale = [
+            key for key in self._entries
+            if key[0] == asid and vpn_lo <= key[1] < vpn_hi
+        ]
+        for key in stale:
+            del self._entries[key]
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self):
+        """Snapshot of live entries (for invariant checks in tests)."""
+        return list(self._entries.values())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,86 @@
+"""Execution tracing: a ring buffer of kernel events.
+
+Attach a :class:`Tracer` before running and every dispatch, syscall,
+fault, signal and group event lands in a bounded ring with its cycle
+timestamp — the simulated equivalent of a kernel event log, useful for
+debugging workloads and for asserting orderings in tests.
+
+    sim = System(ncpus=2)
+    tracer = Tracer.attach(sim.kernel)
+    ...
+    sim.run()
+    for event in tracer.events("syscall"):
+        print(event)
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class TraceEvent:
+    __slots__ = ("time", "kind", "pid", "detail")
+
+    def __init__(self, time: int, kind: str, pid: int, detail: str):
+        self.time = time
+        self.kind = kind
+        self.pid = pid
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return "[%10d] %-9s pid=%-4d %s" % (self.time, self.kind, self.pid, self.detail)
+
+
+class Tracer:
+    """A bounded event recorder wired into the kernel's hook points."""
+
+    def __init__(self, engine, capacity: int = 10_000):
+        self.engine = engine
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.enabled = True
+
+    @classmethod
+    def attach(cls, kernel, capacity: int = 10_000) -> "Tracer":
+        tracer = cls(kernel.engine, capacity)
+        kernel.tracer = tracer
+        return tracer
+
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, pid: int, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(TraceEvent(self.engine.now, kind, pid, detail))
+
+    # ------------------------------------------------------------------
+
+    def events(self, kind: Optional[str] = None, pid: Optional[int] = None):
+        """Iterate recorded events, optionally filtered."""
+        for event in self._ring:
+            if kind is not None and event.kind != kind:
+                continue
+            if pid is not None and event.pid != pid:
+                continue
+            yield event
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return sum(1 for _ in self.events(kind))
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
+        result = None
+        for event in self.events(kind):
+            result = event
+        return result
+
+    def dump(self, limit: int = 50) -> str:
+        """The most recent events as text (newest last)."""
+        tail = list(self._ring)[-limit:]
+        return "\n".join(repr(event) for event in tail)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0

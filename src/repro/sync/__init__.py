@@ -1,0 +1,13 @@
+"""Kernel synchronization primitives: spinlocks, semaphores, shared read lock."""
+
+from repro.sync.semaphore import INTERRUPTED, Semaphore
+from repro.sync.sharedlock import ExclusiveAblationLock, SharedReadLock
+from repro.sync.spinlock import SpinLock
+
+__all__ = [
+    "ExclusiveAblationLock",
+    "INTERRUPTED",
+    "Semaphore",
+    "SharedReadLock",
+    "SpinLock",
+]

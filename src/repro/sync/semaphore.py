@@ -1,0 +1,133 @@
+"""Kernel sleeping semaphores (the paper's ``sema_t``).
+
+Blocking on a semaphore gives up the CPU; the ``V`` side hands the wakeup
+to the scheduler (any object with a ``wakeup(proc)`` method, so the
+primitive is testable without a full kernel).
+
+Interruptible sleeps implement the classic UNIX rule: a signal aimed at a
+process sleeping interruptibly removes it from the wait queue and its
+``p()`` returns ``False``, which kernel callers translate into ``EINTR``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from repro.errors import SimulationError
+from repro.sim.effects import Block, kdelay
+
+
+class _Interrupted:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<interrupted>"
+
+
+#: resume value delivered to a sleeper kicked off the queue by a signal
+INTERRUPTED = _Interrupted()
+
+
+class Semaphore:
+    """A counting semaphore whose waiters sleep (no busy waiting)."""
+
+    def __init__(self, machine, waker, value: int = 0, name: str = "sema"):
+        if value < 0:
+            raise ValueError("semaphore value cannot be negative")
+        self.machine = machine
+        self.costs = machine.costs
+        self.waker = waker
+        self.name = name
+        self._value = value
+        self._waiters: Deque = deque()
+        self.sleeps = 0
+        self.wakeups = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Semaphore %s v=%d w=%d>" % (self.name, self._value, len(self._waiters))
+
+    # ------------------------------------------------------------------
+
+    def p(self, proc, interruptible: bool = False):
+        """Generator: decrement, sleeping while the count is zero.
+
+        Returns ``True`` normally, ``False`` if the sleep was interrupted
+        by a signal (only possible when ``interruptible``).
+        """
+        yield kdelay(self.costs.sema_op)
+        if self._value > 0:
+            self._value -= 1
+            return True
+        if interruptible and getattr(proc, "pending", None):
+            # A signal arrived on our way in (classic sleep()-with-PCATCH
+            # check): interrupt rather than sleep past it.
+            return False
+        self._waiters.append(proc)
+        proc.sleeping_on = self
+        proc.sleep_interruptible = interruptible
+        proc.state = proc.SLEEPING
+        self.sleeps += 1
+        result = yield Block("P(%s)" % self.name)
+        proc.sleeping_on = None
+        proc.sleep_interruptible = False
+        if result is INTERRUPTED:
+            return False
+        return True
+
+    def cp(self) -> bool:
+        """Conditional P: take the semaphore only if it will not block."""
+        if self._value > 0:
+            self._value -= 1
+            return True
+        return False
+
+    def v(self) -> None:
+        """Increment; hand the unit straight to the longest waiter."""
+        if self._waiters:
+            proc = self._waiters.popleft()
+            proc.sleeping_on = None
+            proc.resume_value = None
+            self.wakeups += 1
+            self.waker.wakeup(proc)
+        else:
+            self._value += 1
+
+    def v_all(self) -> None:
+        """Wake every waiter (broadcast); the count is untouched."""
+        while self._waiters:
+            self.v()
+
+    # ------------------------------------------------------------------
+    # signal interaction
+
+    def cancel(self, proc) -> bool:
+        """Kick ``proc`` off the wait queue because a signal arrived.
+
+        The sleeper resumes with :data:`INTERRUPTED`.  Returns ``False``
+        if the process was not actually waiting here (lost race with a
+        concurrent ``v()`` — the unit is kept and the sleep completes
+        normally, as in the real kernel).
+        """
+        try:
+            self._waiters.remove(proc)
+        except ValueError:
+            return False
+        proc.sleeping_on = None
+        proc.resume_value = INTERRUPTED
+        self.waker.wakeup(proc)
+        return True
+
+    # ------------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def nwaiters(self) -> int:
+        return len(self._waiters)
+
+    def _assert_consistent(self) -> None:
+        if self._value > 0 and self._waiters:
+            raise SimulationError("semaphore %s has value and waiters" % self.name)

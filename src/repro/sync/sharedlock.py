@@ -1,0 +1,127 @@
+"""The paper's shared read lock (section 6.2).
+
+Protects a share group's shared pregion list: any number of processes may
+*scan* it concurrently (page faults, the pager), but a process that needs
+to *update* the list — fork, exec, mmap, sbrk, region shrink — must wait
+until all scanners are done and then holds the list exclusively.
+
+The structure is exactly the paper's: a spin lock (``s_acclck``) guards
+two counters — ``s_acccnt``, the number of active readers (or -1 while an
+updater holds the lock), and ``s_waitcnt``, the number of processes
+asleep on the ``s_updwait`` semaphore waiting for the lock to change
+state.  Since updates are rare compared to scans, the read path almost
+never blocks — which experiment E4 measures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sync.semaphore import Semaphore
+from repro.sync.spinlock import SpinLock
+
+
+class SharedReadLock:
+    """Many concurrent readers, one exclusive updater."""
+
+    def __init__(self, machine, waker, name: str = "shared"):
+        self.machine = machine
+        self.name = name
+        self._acclck = SpinLock(machine, name + ".acclck")
+        self._updwait = Semaphore(machine, waker, 0, name + ".updwait")
+        self._acccnt = 0  #: readers active, or -1 while updating
+        self._waitcnt = 0  #: sleepers on _updwait
+        self.read_acquires = 0
+        self.update_acquires = 0
+        self.read_blocks = 0
+        self.update_blocks = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<SharedReadLock %s acccnt=%d wait=%d>" % (
+            self.name, self._acccnt, self._waitcnt,
+        )
+
+    # ------------------------------------------------------------------
+    # read (scan) side
+
+    def acquire_read(self, proc):
+        """Generator: join the scanners, sleeping out any update."""
+        yield from self._acclck.acquire(proc)
+        while self._acccnt < 0:
+            self._waitcnt += 1
+            self.read_blocks += 1
+            self._acclck.release()
+            yield from self._updwait.p(proc)
+            yield from self._acclck.acquire(proc)
+        self._acccnt += 1
+        self.read_acquires += 1
+        self._acclck.release()
+
+    def release_read(self, proc):
+        """Generator: leave the scanners; wake waiters when last out."""
+        yield from self._acclck.acquire(proc)
+        if self._acccnt <= 0:
+            self._acclck.release()
+            raise SimulationError("release_read with no readers on %s" % self.name)
+        self._acccnt -= 1
+        if self._acccnt == 0:
+            self._broadcast()
+        self._acclck.release()
+
+    # ------------------------------------------------------------------
+    # update side
+
+    def acquire_update(self, proc):
+        """Generator: wait for all scanners to drain, then hold exclusively."""
+        yield from self._acclck.acquire(proc)
+        while self._acccnt != 0:
+            self._waitcnt += 1
+            self.update_blocks += 1
+            self._acclck.release()
+            yield from self._updwait.p(proc)
+            yield from self._acclck.acquire(proc)
+        self._acccnt = -1
+        self.update_acquires += 1
+        self._acclck.release()
+
+    def release_update(self, proc):
+        """Generator: end the update; wake everyone to re-contend."""
+        yield from self._acclck.acquire(proc)
+        if self._acccnt != -1:
+            self._acclck.release()
+            raise SimulationError("release_update without update on %s" % self.name)
+        self._acccnt = 0
+        self._broadcast()
+        self._acclck.release()
+
+    # ------------------------------------------------------------------
+
+    def _broadcast(self) -> None:
+        """Wake every process sleeping for a state change."""
+        for _ in range(self._waitcnt):
+            self._updwait.v()
+        self._waitcnt = 0
+
+    @property
+    def readers(self) -> int:
+        return max(self._acccnt, 0)
+
+    @property
+    def updating(self) -> bool:
+        return self._acccnt == -1
+
+
+class ExclusiveAblationLock(SharedReadLock):
+    """Ablation for experiment E4: every scan takes the lock exclusively.
+
+    This is what a naive port without the shared read lock would do —
+    page faults serialize against each other, not just against updates.
+    """
+
+    def acquire_read(self, proc):
+        yield from self.acquire_update(proc)
+        # keep read statistics meaningful for the experiment harness
+        self.read_acquires += 1
+        self.update_acquires -= 1
+
+    def release_read(self, proc):
+        yield from self.release_update(proc)

@@ -1,0 +1,59 @@
+"""Kernel spin locks (the paper's ``lock_t``).
+
+A spinning CPU genuinely burns simulated cycles while it polls, so lock
+contention shows up in the measurements exactly the way it would on the
+real machine.  Atomicity of the test-and-set comes from the discrete-
+event engine: no other CPU can interleave between two yields, which is
+the simulation's model of an interlocked bus operation.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.effects import kdelay
+
+
+class SpinLock:
+    """A busy-waiting mutual-exclusion lock for short kernel sections."""
+
+    def __init__(self, machine, name: str = "lock"):
+        self.machine = machine
+        self.costs = machine.costs
+        self.name = name
+        self._held = False
+        self.owner = None
+        self.acquisitions = 0
+        self.contended_polls = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "held" if self._held else "free"
+        return "<SpinLock %s %s>" % (self.name, state)
+
+    def acquire(self, proc=None):
+        """Generator: spin until the lock is ours."""
+        yield kdelay(self.costs.spin_acquire)
+        while self._held:
+            self.contended_polls += 1
+            yield kdelay(self.costs.spin_poll)
+        self._held = True
+        self.owner = proc
+        self.acquisitions += 1
+
+    def try_acquire(self, proc=None) -> bool:
+        """Non-blocking attempt (no cycles charged; callers charge)."""
+        if self._held:
+            return False
+        self._held = True
+        self.owner = proc
+        self.acquisitions += 1
+        return True
+
+    def release(self) -> None:
+        if not self._held:
+            raise SimulationError("release of free spinlock %s" % self.name)
+        self._held = False
+        self.owner = None
+
+    @property
+    def held(self) -> bool:
+        return self._held

@@ -1,0 +1,5 @@
+"""Mach-style threads: the share-everything comparison baseline."""
+
+from repro.threads.task import Task
+
+__all__ = ["Task"]

@@ -1,0 +1,29 @@
+"""Workloads: deterministic generators and the five programming models."""
+
+from repro.workloads.generators import (
+    checksum,
+    lcg,
+    pack_words,
+    payload,
+    task_costs,
+    unpack_words,
+    words,
+)
+from repro.workloads.models import (
+    MODELS,
+    run_parallel_sum,
+    run_producer_consumer,
+)
+
+__all__ = [
+    "MODELS",
+    "checksum",
+    "lcg",
+    "pack_words",
+    "payload",
+    "run_parallel_sum",
+    "run_producer_consumer",
+    "task_costs",
+    "unpack_words",
+    "words",
+]

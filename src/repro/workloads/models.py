@@ -1,0 +1,521 @@
+"""The paper's programming models as executable workloads (Figures 1-4).
+
+Two applications — a producer/consumer stream and a data-parallel sum —
+are each written five ways:
+
+``v7_pipes``
+    Figure 1: independent fork()ed processes, a pipe as the only channel.
+``sysv_shm``
+    Figure 2 (System V): explicit shared memory segments, kernel
+    semaphores for every synchronization.
+``bsd_sockets``
+    Figure 2 (BSD): a socket byte stream, data copied through the kernel.
+``mach_threads``
+    Figure 3: share-everything threads in one task, busy-wait sync.
+``share_group``
+    Figure 4: sproc() with PR_SALL — shared VM and descriptors, user
+    spinlocks, full UNIX semantics retained.
+
+Every run verifies its answer (checksum or exact sum) before reporting a
+time, so a model can never look fast by being wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ipc.sysv_shm import IPC_CREAT
+from repro.share.mask import PR_SALL
+from repro.sim.costs import CostModel
+from repro.system import System
+from repro.workloads import generators as gen
+
+MODELS = ("v7_pipes", "sysv_shm", "bsd_sockets", "mach_threads", "share_group")
+
+
+def _spin_until(api, addr: int, wanted: int):
+    """Generator: busy-wait (politely) for a shared word to change."""
+    polls = 0
+    while True:
+        value = yield from api.load_word(addr)
+        if value == wanted:
+            return
+        polls += 1
+        if polls >= 32:
+            yield from api.yield_cpu()
+            polls = 0
+
+
+# ======================================================================
+# application 1: producer -> consumer byte stream
+# ======================================================================
+
+
+def _pipe_consumer(api, ctx):
+    out, rfd = ctx["out"], ctx["rfd"]
+    # fork duplicated the write end into this process: close it or the
+    # pipe never delivers EOF (the oldest trick in UNIX).
+    yield from api.close(ctx["wfd"])
+    total = 0
+    checksum_parts = bytearray()
+    while True:
+        chunk = yield from api.read(rfd, ctx["chunk"])
+        if not chunk:
+            break
+        checksum_parts += chunk
+        total += len(chunk)
+    out["received"] = total
+    out["checksum"] = gen.checksum(bytes(checksum_parts))
+    return 0
+
+
+def _stream_pipes(api, ctx):
+    out = ctx["out"]
+    data = ctx["data"]
+    rfd, wfd = yield from api.pipe()
+    start = api.now
+    yield from api.fork(_pipe_consumer, {**ctx, "rfd": rfd, "wfd": wfd})
+    yield from api.close(rfd)
+    for index in range(0, len(data), ctx["chunk"]):
+        yield from api.write(wfd, data[index:index + ctx["chunk"]])
+    yield from api.close(wfd)
+    yield from api.wait()
+    out["cycles"] = api.now - start
+    return 0
+
+
+def _socket_consumer(api, ctx):
+    out, fd = ctx["out"], ctx["fd"]
+    # close the fork-duplicated copy of the parent's endpoint so the
+    # stream can reach EOF when the parent closes its side
+    yield from api.close(ctx["parent_fd"])
+    received = bytearray()
+    while True:
+        chunk = yield from api.recv(fd, ctx["chunk"])
+        if not chunk:
+            break
+        received += chunk
+    out["received"] = len(received)
+    out["checksum"] = gen.checksum(bytes(received))
+    return 0
+
+
+def _stream_sockets(api, ctx):
+    out = ctx["out"]
+    data = ctx["data"]
+    fd_a, fd_b = yield from api.socketpair()
+    start = api.now
+    yield from api.fork(_socket_consumer, {**ctx, "fd": fd_b, "parent_fd": fd_a})
+    yield from api.close(fd_b)
+    for index in range(0, len(data), ctx["chunk"]):
+        yield from api.send(fd_a, data[index:index + ctx["chunk"]])
+    yield from api.close(fd_a)
+    yield from api.wait()
+    out["cycles"] = api.now - start
+    return 0
+
+
+#: ring of shared buffers: per-slot header is flag word + length word.
+#: Multiple slots let the producer fill slot k+1 while the consumer
+#: drains slot k — the same pipelining a pipe's kernel buffer provides,
+#: but at memory speed with no kernel entries.
+_RING_SLOTS = 4
+_BUF_FLAG = 0
+_BUF_LEN = 4
+_BUF_DATA = 8
+
+
+def _ring_stride(chunk: int) -> int:
+    return (chunk + _BUF_DATA + 15) & ~15
+
+
+def _ring_bytes(chunk: int) -> int:
+    return _RING_SLOTS * _ring_stride(chunk) + 4096
+
+
+def _shm_spin_consumer(api, ctx):
+    """Consumer over the shared ring with spin-flag handshakes."""
+    out, base, chunk = ctx["out"], ctx["base"], ctx["chunk"]
+    stride = _ring_stride(chunk)
+    received = bytearray()
+    index = 0
+    while True:
+        slot = base + (index % _RING_SLOTS) * stride
+        yield from _spin_until(api, slot + _BUF_FLAG, 1)
+        length = yield from api.load_word(slot + _BUF_LEN)
+        if length == 0:
+            break
+        piece = yield from api.load(slot + _BUF_DATA, length)
+        received += piece
+        yield from api.store_word(slot + _BUF_FLAG, 0)
+        index += 1
+    out["received"] = len(received)
+    out["checksum"] = gen.checksum(bytes(received))
+    return 0
+
+
+def _shm_spin_producer_body(api, ctx, base):
+    data, chunk = ctx["data"], ctx["chunk"]
+    stride = _ring_stride(chunk)
+    index = 0
+    for offset in range(0, len(data), chunk):
+        piece = data[offset:offset + chunk]
+        slot = base + (index % _RING_SLOTS) * stride
+        yield from _spin_until(api, slot + _BUF_FLAG, 0)
+        yield from api.store(slot + _BUF_DATA, piece)
+        yield from api.store_word(slot + _BUF_LEN, len(piece))
+        yield from api.store_word(slot + _BUF_FLAG, 1)
+        index += 1
+    slot = base + (index % _RING_SLOTS) * stride
+    yield from _spin_until(api, slot + _BUF_FLAG, 0)
+    yield from api.store_word(slot + _BUF_LEN, 0)
+    yield from api.store_word(slot + _BUF_FLAG, 1)
+
+
+def _stream_share_group(api, ctx):
+    out = ctx["out"]
+    base = yield from api.mmap(_ring_bytes(ctx["chunk"]))
+    start = api.now
+    yield from api.sproc(_shm_spin_consumer, PR_SALL, {**ctx, "base": base})
+    yield from _shm_spin_producer_body(api, ctx, base)
+    yield from api.wait()
+    out["cycles"] = api.now - start
+    return 0
+
+
+def _stream_threads(api, ctx):
+    out = ctx["out"]
+    base = yield from api.mmap(_ring_bytes(ctx["chunk"]))
+    start = api.now
+    yield from api.thread_create(_shm_spin_consumer, {**ctx, "base": base})
+    yield from _shm_spin_producer_body(api, ctx, base)
+    yield from api.thread_join()
+    out["cycles"] = api.now - start
+    return 0
+
+
+def _sysv_consumer(api, ctx):
+    """SysV model: the same ring, but every handshake is a semop()."""
+    out, chunk = ctx["out"], ctx["chunk"]
+    shmid = yield from api.shmget(ctx["key"], _ring_bytes(chunk), 0)
+    base = yield from api.shmat(shmid)
+    semid = yield from api.semget(ctx["key"], 2, 0)
+    stride = _ring_stride(chunk)
+    received = bytearray()
+    index = 0
+    while True:
+        yield from api.semop(semid, [(0, -1)])  # wait "full"
+        slot = base + (index % _RING_SLOTS) * stride
+        length = yield from api.load_word(slot + _BUF_LEN)
+        if length == 0:
+            break
+        piece = yield from api.load(slot + _BUF_DATA, length)
+        received += piece
+        yield from api.semop(semid, [(1, 1)])  # post "empty"
+        index += 1
+    out["received"] = len(received)
+    out["checksum"] = gen.checksum(bytes(received))
+    return 0
+
+
+def _stream_sysv(api, ctx):
+    out = ctx["out"]
+    data, chunk = ctx["data"], ctx["chunk"]
+    shmid = yield from api.shmget(ctx["key"], _ring_bytes(chunk), IPC_CREAT)
+    base = yield from api.shmat(shmid)
+    semid = yield from api.semget(ctx["key"], 2, IPC_CREAT)
+    yield from api.semop(semid, [(1, _RING_SLOTS)])  # all slots empty
+    stride = _ring_stride(chunk)
+    start = api.now
+    yield from api.fork(_sysv_consumer, ctx)
+    index = 0
+    for offset in range(0, len(data), chunk):
+        piece = data[offset:offset + chunk]
+        yield from api.semop(semid, [(1, -1)])
+        slot = base + (index % _RING_SLOTS) * stride
+        yield from api.store(slot + _BUF_DATA, piece)
+        yield from api.store_word(slot + _BUF_LEN, len(piece))
+        yield from api.semop(semid, [(0, 1)])
+        index += 1
+    yield from api.semop(semid, [(1, -1)])
+    slot = base + (index % _RING_SLOTS) * stride
+    yield from api.store_word(slot + _BUF_LEN, 0)
+    yield from api.semop(semid, [(0, 1)])
+    yield from api.wait()
+    out["cycles"] = api.now - start
+    return 0
+
+
+_STREAM_MAINS = {
+    "v7_pipes": _stream_pipes,
+    "sysv_shm": _stream_sysv,
+    "bsd_sockets": _stream_sockets,
+    "mach_threads": _stream_threads,
+    "share_group": _stream_share_group,
+}
+
+
+def run_producer_consumer(
+    model: str,
+    nbytes: int = 64 * 1024,
+    chunk: int = 4096,
+    ncpus: int = 2,
+    costs: Optional[CostModel] = None,
+    seed: int = 11,
+) -> Dict[str, int]:
+    """Run the streaming app in one model; returns verified metrics."""
+    data = gen.payload(nbytes, seed)
+    expected = gen.checksum(data)
+    out: Dict[str, int] = {}
+    ctx = {"out": out, "data": data, "chunk": chunk, "key": 424242}
+    sim = System(ncpus=ncpus, costs=costs)
+    sim.spawn(_STREAM_MAINS[model], ctx, name=model)
+    sim.run()
+    if out.get("received") != nbytes or out.get("checksum") != expected:
+        raise AssertionError(
+            "%s corrupted the stream: %r" % (model, out)
+        )
+    return {
+        "model": model,
+        "cycles": out["cycles"],
+        "bytes": nbytes,
+        "bytes_per_kcycle": round(nbytes * 1000 / out["cycles"], 1),
+    }
+
+
+# ======================================================================
+# application 2: data-parallel sum
+# ======================================================================
+
+
+def _sum_pipe_worker(api, ctx):
+    rfd, wfd, nbytes = ctx["rfd"], ctx["wfd"], ctx["nbytes"]
+    received = bytearray()
+    while len(received) < nbytes:
+        chunk = yield from api.read(rfd, nbytes - len(received))
+        if not chunk:
+            break
+        received += chunk
+    values = gen.unpack_words(bytes(received))
+    yield from api.compute(len(values))  # one cycle per add
+    total = sum(values) & 0xFFFFFFFF
+    yield from api.write(wfd, total.to_bytes(4, "little"))
+    return 0
+
+
+def _parallel_sum_pipes(api, ctx):
+    out, values, nworkers = ctx["out"], ctx["values"], ctx["nworkers"]
+    slices = _slices(values, nworkers)
+    start = api.now
+    channels = []
+    for piece in slices:
+        down_r, down_w = yield from api.pipe()
+        up_r, up_w = yield from api.pipe()
+        yield from api.fork(
+            _sum_pipe_worker,
+            {"rfd": down_r, "wfd": up_w, "nbytes": len(piece) * 4},
+        )
+        yield from api.close(down_r)
+        yield from api.close(up_w)
+        channels.append((down_w, up_r, piece))
+    total = 0
+    for down_w, up_r, piece in channels:
+        yield from api.write(down_w, gen.pack_words(piece))
+        yield from api.close(down_w)
+    for down_w, up_r, piece in channels:
+        raw = yield from api.read(up_r, 4)
+        total = (total + int.from_bytes(raw, "little")) & 0xFFFFFFFF
+        yield from api.close(up_r)
+    for _ in channels:
+        yield from api.wait()
+    out["total"] = total
+    out["cycles"] = api.now - start
+    return 0
+
+
+def _sum_socket_worker(api, ctx):
+    fd, nbytes = ctx["fd"], ctx["nbytes"]
+    received = bytearray()
+    while len(received) < nbytes:
+        chunk = yield from api.recv(fd, nbytes - len(received))
+        if not chunk:
+            break
+        received += chunk
+    values = gen.unpack_words(bytes(received))
+    yield from api.compute(len(values))
+    total = sum(values) & 0xFFFFFFFF
+    yield from api.send(fd, total.to_bytes(4, "little"))
+    return 0
+
+
+def _parallel_sum_sockets(api, ctx):
+    out, values, nworkers = ctx["out"], ctx["values"], ctx["nworkers"]
+    slices = _slices(values, nworkers)
+    start = api.now
+    channels = []
+    for piece in slices:
+        fd_a, fd_b = yield from api.socketpair()
+        yield from api.fork(
+            _sum_socket_worker, {"fd": fd_b, "nbytes": len(piece) * 4}
+        )
+        yield from api.close(fd_b)
+        channels.append((fd_a, piece))
+    for fd_a, piece in channels:
+        yield from api.send(fd_a, gen.pack_words(piece))
+    total = 0
+    for fd_a, _piece in channels:
+        raw = yield from api.recv(fd_a, 4)
+        total = (total + int.from_bytes(raw, "little")) & 0xFFFFFFFF
+        yield from api.close(fd_a)
+    for _ in channels:
+        yield from api.wait()
+    out["total"] = total
+    out["cycles"] = api.now - start
+    return 0
+
+
+def _sum_shared_worker(api, ctx):
+    """Workers for the shared-VM models: slice the in-place array."""
+    base, begin, count, accum = ctx["base"], ctx["begin"], ctx["count"], ctx["accum"]
+    raw = yield from api.load(base + begin * 4, count * 4)
+    values = gen.unpack_words(raw)
+    yield from api.compute(len(values))
+    total = sum(values) & 0xFFFFFFFF
+    yield from api.fetch_add(accum, total)
+    yield from api.fetch_add(accum + 4, 1)  # completion count
+    return 0
+
+
+def _parallel_sum_shared(api, ctx, spawn, join):
+    out, values, nworkers = ctx["out"], ctx["values"], ctx["nworkers"]
+    base = yield from api.mmap(len(values) * 4 + 4096)
+    accum = yield from api.mmap(4096)
+    yield from api.store(base, gen.pack_words(values))
+    start = api.now
+    begin = 0
+    for piece in _slices(values, nworkers):
+        yield from spawn(
+            _sum_shared_worker,
+            {"base": base, "begin": begin, "count": len(piece), "accum": accum},
+        )
+        begin += len(piece)
+    for _ in range(nworkers):
+        yield from join()
+    out["total"] = yield from api.load_word(accum)
+    out["cycles"] = api.now - start
+    return 0
+
+
+def _parallel_sum_share_group(api, ctx):
+    def spawn(entry, arg):
+        pid = yield from api.sproc(entry, PR_SALL, arg)
+        return pid
+
+    def join():
+        result = yield from api.wait()
+        return result
+
+    result = yield from _parallel_sum_shared(api, ctx, spawn, join)
+    return result
+
+
+def _parallel_sum_threads(api, ctx):
+    def spawn(entry, arg):
+        tid = yield from api.thread_create(entry, arg)
+        return tid
+
+    def join():
+        result = yield from api.thread_join()
+        return result
+
+    result = yield from _parallel_sum_shared(api, ctx, spawn, join)
+    return result
+
+
+def _sysv_sum_worker(api, ctx):
+    key, begin, count, index = ctx["key"], ctx["begin"], ctx["count"], ctx["index"]
+    shmid = yield from api.shmget(key, 0, 0)
+    base = yield from api.shmat(shmid)
+    raw = yield from api.load(base + 4096 + begin * 4, count * 4)
+    values = gen.unpack_words(raw)
+    yield from api.compute(len(values))
+    total = sum(values) & 0xFFFFFFFF
+    yield from api.store_word(base + 16 + index * 4, total)
+    semid = yield from api.semget(key, 1, 0)
+    yield from api.semop(semid, [(0, 1)])
+    return 0
+
+
+def _parallel_sum_sysv(api, ctx):
+    out, values, nworkers = ctx["out"], ctx["values"], ctx["nworkers"]
+    key = ctx["key"]
+    nbytes = 4096 + len(values) * 4
+    shmid = yield from api.shmget(key, nbytes, IPC_CREAT)
+    base = yield from api.shmat(shmid)
+    semid = yield from api.semget(key, 1, IPC_CREAT)
+    yield from api.store(base + 4096, gen.pack_words(values))
+    start = api.now
+    begin = 0
+    for index, piece in enumerate(_slices(values, nworkers)):
+        yield from api.fork(
+            _sysv_sum_worker,
+            {"key": key, "begin": begin, "count": len(piece), "index": index},
+        )
+        begin += len(piece)
+    yield from api.semop(semid, [(0, -nworkers)])
+    total = 0
+    for index in range(nworkers):
+        part = yield from api.load_word(base + 16 + index * 4)
+        total = (total + part) & 0xFFFFFFFF
+    for _ in range(nworkers):
+        yield from api.wait()
+    out["total"] = total
+    out["cycles"] = api.now - start
+    return 0
+
+
+_SUM_MAINS = {
+    "v7_pipes": _parallel_sum_pipes,
+    "sysv_shm": _parallel_sum_sysv,
+    "bsd_sockets": _parallel_sum_sockets,
+    "mach_threads": _parallel_sum_threads,
+    "share_group": _parallel_sum_share_group,
+}
+
+
+def _slices(values, nworkers):
+    per = (len(values) + nworkers - 1) // nworkers
+    return [values[i:i + per] for i in range(0, len(values), per)]
+
+
+def run_parallel_sum(
+    model: str,
+    nwords: int = 4096,
+    nworkers: int = 4,
+    ncpus: int = 4,
+    costs: Optional[CostModel] = None,
+    seed: int = 23,
+) -> Dict[str, int]:
+    """Run the data-parallel sum in one model; returns verified metrics."""
+    values = gen.words(nwords, seed)
+    expected = sum(values) & 0xFFFFFFFF
+    out: Dict[str, int] = {}
+    ctx = {
+        "out": out,
+        "values": values,
+        "nworkers": nworkers,
+        "key": 31337,
+    }
+    sim = System(ncpus=ncpus, costs=costs)
+    sim.spawn(_SUM_MAINS[model], ctx, name=model)
+    sim.run()
+    if out.get("total") != expected:
+        raise AssertionError(
+            "%s computed %r, expected %d" % (model, out.get("total"), expected)
+        )
+    return {
+        "model": model,
+        "cycles": out["cycles"],
+        "nwords": nwords,
+        "nworkers": nworkers,
+    }

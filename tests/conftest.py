@@ -1,0 +1,38 @@
+"""Shared test helpers.
+
+Most kernel-level tests run a small guest program inside a fresh
+:class:`~repro.system.System` and inspect what it wrote into a host-side
+``out`` dict (the zero-cost instrumentation channel).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import System
+
+
+def run_program(main, ncpus=2, out=None, arg=None, sim=None, **system_kwargs):
+    """Boot a system, run ``main(api, out)`` as init, drain the engine.
+
+    Returns ``(out, sim)``.  ``main`` may also take ``(api, arg)`` when
+    ``arg`` is given explicitly.
+    """
+    if out is None:
+        out = {}
+    if sim is None:
+        sim = System(ncpus=ncpus, **system_kwargs)
+    passed = out if arg is None else arg
+    sim.spawn(main, passed, name="init")
+    sim.run()
+    return out, sim
+
+
+@pytest.fixture
+def sim2():
+    return System(ncpus=2)
+
+
+@pytest.fixture
+def sim4():
+    return System(ncpus=4)

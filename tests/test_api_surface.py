@@ -1,0 +1,106 @@
+"""The public API surface: docs/API.md must not drift from the code."""
+
+import inspect
+
+import pytest
+
+import repro
+from repro.kernel.syscalls import UserAPI
+
+
+PAPER_CALLS = {"sproc", "prctl"}
+PROCESS_CALLS = {
+    "fork", "exec", "exit", "wait", "getpid", "getppid", "nice",
+    "kill", "signal", "pause", "alarm", "blockproc", "unblockproc",
+}
+VM_CALLS = {
+    "sbrk", "mmap", "munmap", "load", "store", "load_word", "store_word",
+    "cas", "fetch_add", "compute", "yield_cpu", "uwait", "uwake",
+}
+FILE_CALLS = {
+    "open", "creat", "close", "read", "write", "read_v", "write_v",
+    "lseek", "dup", "dup2", "pipe", "mkdir", "unlink", "link",
+    "ftruncate", "readdir", "stat", "fstat", "chdir", "chroot",
+    "umask", "ulimit", "errno",
+}
+ID_CALLS = {"getuid", "setuid", "getgid", "setgid"}
+IPC_CALLS = {
+    "shmget", "shmat", "shmdt", "shm_rmid", "semget", "semop",
+    "msgget", "msgsnd", "msgrcv", "socket", "socketpair", "bind",
+    "listen", "connect", "accept", "send", "recv", "sendfd", "recvfd",
+    "thread_create", "thread_join",
+}
+
+ALL_CALLS = PAPER_CALLS | PROCESS_CALLS | VM_CALLS | FILE_CALLS | ID_CALLS | IPC_CALLS
+
+
+def test_every_documented_call_exists_and_is_a_generator_function():
+    for name in sorted(ALL_CALLS):
+        method = getattr(UserAPI, name, None)
+        assert method is not None, "missing api.%s" % name
+        assert inspect.isgeneratorfunction(method), (
+            "api.%s must be a generator function" % name
+        )
+
+
+def test_every_public_method_is_documented_here():
+    """New API methods must be added to docs/API.md (and this list)."""
+    public = {
+        name
+        for name, member in vars(UserAPI).items()
+        if not name.startswith("_") and inspect.isgeneratorfunction(member)
+    }
+    undocumented = public - ALL_CALLS
+    assert not undocumented, "document these in docs/API.md: %s" % sorted(
+        undocumented
+    )
+
+
+def test_package_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_share_mask_bits_are_distinct_and_within_sall():
+    from repro import (
+        PR_SADDR, PR_SALL, PR_SDIR, PR_SFDS, PR_SID, PR_SULIMIT, PR_SUMASK,
+    )
+
+    bits = [PR_SADDR, PR_SULIMIT, PR_SUMASK, PR_SDIR, PR_SFDS, PR_SID]
+    assert len({bit for bit in bits}) == len(bits)
+    combined = 0
+    for bit in bits:
+        assert bit & combined == 0, "share mask bits overlap"
+        combined |= bit
+        assert bit & PR_SALL == bit, "every resource bit is inside PR_SALL"
+
+
+def test_prctl_option_codes_are_distinct():
+    from repro.share import prctl as prctl_mod
+
+    codes = [
+        value
+        for name, value in vars(prctl_mod).items()
+        if name.startswith("PR_") and isinstance(value, int)
+        and name != "PR_SADDR"  # a share-mask bit imported for a check
+    ]
+    assert len(set(codes)) == len(codes)
+
+
+def test_paper_spelling_alias():
+    from repro import PR_FDS, PR_SFDS
+
+    assert PR_FDS == PR_SFDS
+
+
+def test_every_public_module_has_a_docstring():
+    import importlib
+    import pkgutil
+
+    missing = []
+    package = importlib.import_module("repro")
+    for info in pkgutil.walk_packages(package.__path__, "repro."):
+        module = importlib.import_module(info.name)
+        if not (module.__doc__ or "").strip():
+            missing.append(info.name)
+    assert not missing, "modules without docstrings: %s" % missing

@@ -1,0 +1,140 @@
+"""blockproc/unblockproc and whole-group block (section 8 extension)."""
+
+import pytest
+
+from repro import PR_SALL, System, status_code
+from repro.errors import ESRCH
+from repro.share.prctl import PR_BLOCKGRP, PR_UNBLKGRP
+from tests.conftest import run_program
+
+
+def test_block_suspends_until_unblock():
+    def victim(api, base):
+        while True:
+            yield from api.fetch_add(base, 1)
+            yield from api.compute(1000)
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        pid = yield from api.sproc(victim, PR_SALL, base)
+        yield from api.compute(20_000)
+        yield from api.blockproc(pid)
+        yield from api.compute(5_000)  # let it hit a boundary and park
+        frozen = yield from api.load_word(base)
+        yield from api.compute(50_000)
+        still = yield from api.load_word(base)
+        out["frozen"] = frozen
+        out["still"] = still
+        yield from api.unblockproc(pid)
+        yield from api.compute(30_000)
+        out["after"] = yield from api.load_word(base)
+        from repro import SIGKILL
+
+        yield from api.kill(pid, SIGKILL)
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["still"] <= out["frozen"] + 1, "blocked proc kept running"
+    assert out["after"] > out["still"], "unblock must resume it"
+
+
+def test_block_counts_nest():
+    """Two blockproc calls need two unblockproc calls (IRIX semantics)."""
+
+    def victim(api, base):
+        while True:
+            yield from api.fetch_add(base, 1)
+            yield from api.compute(1000)
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        pid = yield from api.sproc(victim, PR_SALL, base)
+        yield from api.compute(10_000)
+        yield from api.blockproc(pid)
+        yield from api.blockproc(pid)
+        yield from api.compute(10_000)
+        snap1 = yield from api.load_word(base)
+        yield from api.unblockproc(pid)  # count -1: still blocked
+        yield from api.compute(30_000)
+        snap2 = yield from api.load_word(base)
+        out["still_blocked"] = snap2 <= snap1 + 1
+        yield from api.unblockproc(pid)  # count 0: runs
+        yield from api.compute(30_000)
+        snap3 = yield from api.load_word(base)
+        out["resumed"] = snap3 > snap2
+        from repro import SIGKILL
+
+        yield from api.kill(pid, SIGKILL)
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["still_blocked"]
+    assert out["resumed"]
+
+
+def test_self_block_waits_for_peer_unblock():
+    def sleeper(api, ctx):
+        out, main_pid = ctx
+        me = yield from api.getpid()
+        yield from api.store_word(out, me)
+        yield from api.blockproc(me)  # self-block: suspends right here
+        return 42  # only reachable after an unblock
+
+    def main(api, out):
+        cell = yield from api.mmap(4096)
+        pid = yield from api.sproc(sleeper, PR_SALL, (cell, 0))
+        while (yield from api.load_word(cell)) == 0:
+            yield from api.yield_cpu()
+        yield from api.compute(30_000)
+        yield from api.unblockproc(pid)
+        _, status = yield from api.wait()
+        out["code"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["code"] == 42
+
+
+def test_group_block_unblock_via_prctl():
+    def member(api, base):
+        while True:
+            yield from api.fetch_add(base, 1)
+            yield from api.compute(500)
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        pids = []
+        for _ in range(3):
+            pids.append((yield from api.sproc(member, PR_SALL, base)))
+        yield from api.compute(20_000)
+        yield from api.prctl(PR_BLOCKGRP)
+        yield from api.compute(10_000)
+        frozen = yield from api.load_word(base)
+        yield from api.compute(50_000)
+        out["held"] = (yield from api.load_word(base)) <= frozen + 3
+        yield from api.prctl(PR_UNBLKGRP)
+        yield from api.compute(30_000)
+        out["resumed"] = (yield from api.load_word(base)) > frozen + 3
+        from repro import SIGKILL
+
+        for pid in pids:
+            yield from api.kill(pid, SIGKILL)
+        for _ in pids:
+            yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["held"], "PR_BLOCKGRP must freeze the other members"
+    assert out["resumed"], "PR_UNBLKGRP must thaw them"
+
+
+def test_blockproc_unknown_pid():
+    def main(api, out):
+        rc = yield from api.blockproc(999)
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == ESRCH

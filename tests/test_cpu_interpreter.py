@@ -1,0 +1,199 @@
+"""The CPU interpreter: quantum slicing, frame stack, exec replacement."""
+
+import pytest
+
+from repro import PR_SALL, SIGUSR1, System, status_code
+from repro.sim.costs import CostModel
+from tests.conftest import run_program
+
+
+def test_long_compute_is_chunked_at_quantum():
+    """A single giant compute must not monopolize the CPU past quanta."""
+    quantum = 50_000
+
+    def hog(api, log):
+        yield from api.compute(10 * quantum)
+        log.append(("hog", api.now))
+        return 0
+
+    def quick(api, log):
+        yield from api.compute(1000)
+        log.append(("quick", api.now))
+        return 0
+
+    def main(api, log):
+        yield from api.fork(hog, log)
+        yield from api.fork(quick, log)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    log = []
+    sim = System(ncpus=1, costs=CostModel(quantum=quantum))
+    sim.spawn(main, log)
+    sim.run()
+    order = [tag for tag, _ in log]
+    assert order[0] == "quick", "time slicing must let the short job through"
+
+
+def test_compute_zero_is_harmless():
+    def main(api, out):
+        yield from api.compute(0)
+        out["ok"] = True
+        return 0
+
+    out, _ = run_program(main)
+    assert out["ok"]
+
+
+def test_async_signal_pushes_handler_frame_and_resumes_compute():
+    """Handler interrupts mid-compute; the interrupted work continues
+    afterwards and total compute time is preserved."""
+
+    def victim(api, ctx):
+        base = ctx
+
+        def handler(api, sig):
+            yield from api.store_word(base, 1)
+
+        yield from api.signal(SIGUSR1, handler)
+        start = api.now
+        yield from api.compute(400_000)
+        elapsed = api.now - start
+        handled = yield from api.load_word(base)
+        # the handler ran (flag set) and the compute still finished fully
+        return 0 if (handled == 1 and elapsed >= 400_000) else 1
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        pid = yield from api.fork(victim, base)
+        yield from api.compute(100_000)
+        yield from api.kill(pid, SIGUSR1)
+        _, status = yield from api.wait()
+        out["code"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["code"] == 0
+
+
+def test_nested_signal_during_handler_defers_sanely():
+    """A second signal posted while a handler runs is delivered after."""
+
+    def victim(api, ctx):
+        base = ctx
+
+        def h1(api, sig):
+            yield from api.fetch_add(base, 1)
+            yield from api.compute(50_000)
+
+        yield from api.signal(SIGUSR1, h1)
+        yield from api.compute(600_000)
+        count = yield from api.load_word(base)
+        return count
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        pid = yield from api.fork(victim, base)
+        yield from api.compute(100_000)
+        yield from api.kill(pid, SIGUSR1)
+        yield from api.compute(300_000)
+        yield from api.kill(pid, SIGUSR1)
+        _, status = yield from api.wait()
+        out["handled"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["handled"] == 2
+
+
+def test_exec_discards_old_generator_stack():
+    """exec from inside a signal handler still replaces the whole image."""
+
+    def image(api, arg):
+        return 55
+        yield
+
+    def victim(api, arg):
+        def handler(api, sig):
+            yield from api.exec("/bin/image")
+
+        yield from api.signal(SIGUSR1, handler)
+        yield from api.compute(1_000_000)
+        return 1  # must never be reached
+
+    def main(api, out):
+        pid = yield from api.fork(victim)
+        yield from api.compute(50_000)
+        yield from api.kill(pid, SIGUSR1)
+        _, status = yield from api.wait()
+        out["code"] = status_code(status)
+        return 0
+
+    out = {}
+    sim = System(ncpus=2)
+    sim.register_program("/bin/image", image)
+    sim.spawn(lambda api, a: main(api, out))
+    sim.run()
+    assert out["code"] == 55
+
+
+def test_program_falling_off_end_exits_zero():
+    def silent(api, arg):
+        yield from api.compute(10)
+        # no return statement: implicit exit(0)
+
+    def main(api, out):
+        yield from api.fork(silent)
+        _, status = yield from api.wait()
+        out["code"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["code"] == 0
+
+
+def test_busy_cycles_accounting_consistent():
+    def main(api, out):
+        yield from api.compute(100_000)
+        return 0
+
+    out, sim = run_program(main, ncpus=1)
+    total_busy = sum(cpu.busy_cycles for cpu in sim.machine.cpus)
+    assert total_busy <= sim.now
+    assert total_busy >= 100_000
+
+
+def test_dispatch_cost_charged_on_switch():
+    slow_switch = CostModel(context_switch=50_000)
+
+    def child(api, arg):
+        yield from api.compute(1000)
+        return 0
+
+    def main(api, out):
+        yield from api.fork(child)
+        yield from api.wait()
+        return 0
+
+    out_fast, sim_fast = run_program(main, ncpus=1)
+    out_slow, sim_slow = run_program(main, ncpus=1, costs=slow_switch)
+    assert sim_slow.now > sim_fast.now + 40_000
+
+
+def test_guest_exception_is_wrapped_with_context():
+    """A buggy workload raising a raw exception gets pid/cycle context."""
+    from repro.errors import SimulationError
+
+    def buggy(api, arg):
+        yield from api.compute(100)
+        raise ValueError("oops in guest code")
+
+    sim = System(ncpus=1)
+    sim.spawn(buggy, name="buggy-prog")
+    with pytest.raises(SimulationError) as excinfo:
+        sim.run()
+    message = str(excinfo.value)
+    assert "buggy-prog" in message
+    assert "oops in guest code" in message
+    assert isinstance(excinfo.value.__cause__, ValueError)

@@ -1,0 +1,70 @@
+"""Reproducibility: identical workloads must produce identical timelines."""
+
+import pytest
+
+from repro import PR_SALL, System
+from repro.sim.costs import CostModel
+from tests.conftest import run_program
+
+
+def _mixed_workload(api, out):
+    from repro.runtime import USpinLock, WorkQueue
+
+    queue = yield from WorkQueue.create(api, 32)
+    base = yield from api.mmap(4096)
+
+    def worker(api, ctx):
+        qbase, counter = ctx
+        q = yield from WorkQueue.attach(api, qbase)
+        while True:
+            item = yield from q.pop(api)
+            if item is None:
+                return 0
+            yield from api.compute(item * 111)
+            yield from api.fetch_add(counter, item)
+
+    for _ in range(3):
+        yield from api.sproc(worker, PR_SALL, (queue.base, base))
+    for item in range(1, 13):
+        yield from queue.push(api, item)
+    yield from queue.close(api)
+    for _ in range(3):
+        yield from api.wait()
+    out["sum"] = yield from api.load_word(base)
+    out["cycles"] = api.now
+    return 0
+
+
+def _run_once():
+    out, sim = run_program(_mixed_workload, ncpus=4)
+    return out, dict(sim.stats)
+
+
+def test_identical_runs_produce_identical_cycles_and_stats():
+    (out1, stats1) = _run_once()
+    (out2, stats2) = _run_once()
+    assert out1 == out2
+    assert stats1 == stats2
+
+
+def test_results_deterministic_across_many_runs():
+    results = {tuple(sorted(_run_once()[0].items())) for _ in range(3)}
+    assert len(results) == 1
+
+
+def test_cost_model_changes_timing_but_not_results():
+    slow = CostModel(context_switch=5000)
+    out_fast, _ = run_program(_mixed_workload, ncpus=4)
+    out_slow, _ = run_program(_mixed_workload, ncpus=4, costs=slow)
+    assert out_fast["sum"] == out_slow["sum"]
+    assert out_fast["cycles"] != out_slow["cycles"]
+
+
+def test_cost_model_validation():
+    with pytest.raises(ValueError):
+        CostModel(mem_access=-1).validate()
+    model = CostModel()
+    clone = model.replace(quantum=50_000)
+    assert clone.quantum == 50_000
+    assert model.quantum == 100_000
+    assert "quantum" in model.as_dict()

@@ -1,0 +1,322 @@
+"""Edge cases and failure injection across the kernel."""
+
+import pytest
+
+from repro import (
+    O_CREAT,
+    O_RDWR,
+    PR_SALL,
+    SIGKILL,
+    SIGUSR1,
+    System,
+    status_code,
+    status_signal,
+)
+from repro.errors import E2BIG, EBADF, EFAULT, EINTR, EMFILE, ENOMEM
+from repro.fs.fdtable import NOFILE
+from tests.conftest import run_program
+
+
+# ----------------------------------------------------------------------
+# resource exhaustion
+
+
+def test_oom_kills_faulting_process_not_machine():
+    """Exhausting physical memory SIGKILLs the hog; siblings survive."""
+    from repro.mem.frames import PAGE_SIZE
+
+    def hog(api, arg):
+        base = yield from api.mmap(4096 * PAGE_SIZE)  # more than RAM
+        page = 0
+        while True:
+            yield from api.store_word(base + page * PAGE_SIZE, 1)
+            page += 1
+
+    def bystander(api, arg):
+        yield from api.compute(300_000)
+        return 7
+
+    def main(api, out):
+        yield from api.fork(bystander)
+        yield from api.fork(hog)
+        statuses = []
+        for _ in range(2):
+            _, status = yield from api.wait()
+            statuses.append(status)
+        out["statuses"] = statuses
+        return 0
+
+    out, sim = run_program(main, ncpus=2, memory_mb=2)
+    assert sim.stats["oom_kills"] >= 1
+    sigs = {status_signal(s) for s in out["statuses"]}
+    codes = {status_code(s) for s in out["statuses"]}
+    assert SIGKILL in sigs, "the hog must die by SIGKILL"
+    assert 7 in codes, "the bystander must finish normally"
+
+
+def test_descriptor_table_exhaustion_is_emfile():
+    def main(api, out):
+        fd = yield from api.creat("/f")
+        count = 1
+        while True:
+            rc = yield from api.dup(fd)
+            if rc == -1:
+                break
+            count += 1
+        out["count"] = count
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == EMFILE
+    assert out["count"] == NOFILE
+
+
+def test_copyio_to_unmapped_buffer_is_efault():
+    def main(api, out):
+        fd = yield from api.open("/f", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"data")
+        yield from api.lseek(fd, 0, 0)
+        rc = yield from api.read_v(fd, 0x6000_0000, 4)  # unmapped buffer
+        out["rc"] = rc
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["rc"] == -1
+    assert out["errno"] == EFAULT
+
+
+def test_msgrcv_with_tiny_buffer_is_e2big():
+    from repro import IPC_CREAT, IPC_PRIVATE
+
+    def main(api, out):
+        q = yield from api.msgget(IPC_PRIVATE, IPC_CREAT)
+        yield from api.msgsnd(q, 1, b"much too long")
+        rc = yield from api.msgrcv(q, 0, max_bytes=4)
+        out["rc"] = rc
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["rc"] == -1
+    assert out["errno"] == E2BIG
+
+
+# ----------------------------------------------------------------------
+# signal / syscall interactions
+
+
+def test_wait_interrupted_by_signal_is_eintr():
+    def slow_child(api, arg):
+        yield from api.compute(500_000)
+        return 0
+
+    def waiter(api, out):
+        def handler(api, sig):
+            return
+            yield
+
+        yield from api.signal(SIGUSR1, handler)
+        yield from api.fork(slow_child)
+        rc = yield from api.wait()
+        if rc == -1:
+            out["errno"] = yield from api.errno()
+        yield from api.wait()  # actually reap
+        return 0
+
+    def main(api, out):
+        pid = yield from api.fork(waiter, out)
+        yield from api.compute(50_000)
+        yield from api.kill(pid, SIGUSR1)
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out.get("errno") == EINTR
+
+
+def test_segv_handler_can_repair_mapping_and_resume():
+    """Section-6.2-adjacent: retrying the faulting access after the
+    handler runs lets a handler that maps the page fix the program."""
+    target = 0x3000_0000  # first mmap lands here
+
+    def main(api, out):
+        from repro import SIGSEGV
+
+        def repair(api, sig):
+            base = yield from api.mmap(4096)
+            assert base == target, hex(base)
+
+        yield from api.signal(SIGSEGV, repair)
+        yield from api.store_word(target, 99)  # faults, repaired, retried
+        out["value"] = yield from api.load_word(target)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["value"] == 99
+
+
+def test_kill_all_members_of_group():
+    def member(api, arg):
+        yield from api.pause()
+        return 0
+
+    def main(api, out):
+        pids = []
+        for _ in range(3):
+            pid = yield from api.sproc(member, PR_SALL)
+            pids.append(pid)
+        yield from api.compute(30_000)
+        for pid in pids:
+            yield from api.kill(pid, SIGKILL)
+        sigs = []
+        for _ in pids:
+            _, status = yield from api.wait()
+            sigs.append(status_signal(status))
+        out["sigs"] = sigs
+        return 0
+
+    out, sim = run_program(main, ncpus=2)
+    assert out["sigs"] == [SIGKILL] * 3
+    assert sim.stats["groups_freed"] == 1
+
+
+# ----------------------------------------------------------------------
+# groups under stress
+
+
+def test_deep_group_of_32_members():
+    def member(api, ctx):
+        base, idx = ctx
+        yield from api.fetch_add(base, idx)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        n = 32
+        for idx in range(1, n + 1):
+            yield from api.sproc(member, PR_SALL, (base, idx))
+        for _ in range(n):
+            yield from api.wait()
+        out["sum"] = yield from api.load_word(base)
+        out["expected"] = n * (n + 1) // 2
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["sum"] == out["expected"]
+
+
+def test_chained_sproc_tree():
+    """Members sproc their own members; everything lands in one group."""
+
+    def leaf(api, base):
+        yield from api.fetch_add(base, 1)
+        return 0
+
+    def middle(api, base):
+        yield from api.sproc(leaf, PR_SALL, base)
+        yield from api.sproc(leaf, PR_SALL, base)
+        yield from api.fetch_add(base, 1)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        yield from api.sproc(middle, PR_SALL, base)
+        yield from api.sproc(middle, PR_SALL, base)
+        yield from api.wait()
+        yield from api.wait()
+        out["count"] = yield from api.load_word(base)
+        return 0
+
+    out, sim = run_program(main, ncpus=4)
+    assert out["count"] == 6
+    assert sim.stats["groups_created"] == 1, "one group for the whole tree"
+
+
+def test_member_closing_then_reopening_fd_slot():
+    """Close + open churn through the sharing protocol stays coherent."""
+
+    def churner(api, arg):
+        for round_number in range(5):
+            fd = yield from api.open("/churn", O_RDWR | O_CREAT)
+            yield from api.write(fd, b"round%d" % round_number)
+            yield from api.close(fd)
+        return 0
+
+    def main(api, out):
+        yield from api.sproc(churner, PR_SALL)
+        yield from api.wait()
+        yield from api.getpid()  # sync
+        # slot 0 must be empty again (open/close pairs balanced)
+        rc = yield from api.read(0, 4)
+        out["rc"] = rc
+        out["errno"] = yield from api.errno()
+        st = yield from api.stat("/churn")
+        out["size"] = st["size"]
+        return 0
+
+    out, _ = run_program(main)
+    assert out["rc"] == -1
+    assert out["errno"] == EBADF
+    assert out["size"] == len(b"round4")
+
+
+def test_fork_bomb_is_contained_by_proc_table():
+    from repro.errors import SimulationError
+
+    def bomber(api, arg):
+        while True:
+            rc = yield from api.fork(bomber)
+            if rc == -1:
+                return 1
+
+    sim = System(ncpus=2)
+    sim.kernel.proc_table.max_procs = 40
+    sim.spawn(bomber)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=2_000_000)
+
+
+def test_zombie_children_do_not_leak_frames():
+    def child(api, arg):
+        base = yield from api.mmap(8 * 4096)
+        for page in range(8):
+            yield from api.store_word(base + page * 4096, page)
+        return 0
+
+    def main(api, out):
+        for _ in range(5):
+            yield from api.fork(child)
+            yield from api.wait()
+        out["frames"] = api.kernel.machine.frames.allocated
+        return 0
+
+    out, sim = run_program(main)
+    # only init's own pages remain (PRDA + touched stack pages etc.)
+    assert out["frames"] < 20
+
+
+def test_group_teardown_releases_all_shared_frames():
+    def member(api, arg):
+        base = yield from api.mmap(16 * 4096)
+        for page in range(16):
+            yield from api.store_word(base + page * 4096, page)
+        return 0
+
+    def launcher(api, out):
+        yield from api.sproc(member, PR_SALL)
+        yield from api.wait()
+        return 0
+
+    def main(api, out):
+        yield from api.fork(launcher, out)
+        yield from api.wait()
+        out["frames"] = api.kernel.machine.frames.allocated
+        return 0
+
+    out, sim = run_program(main)
+    assert sim.stats["groups_freed"] == 1
+    assert out["frames"] < 20, "shared pregions must be freed with the group"

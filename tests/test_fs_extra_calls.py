@@ -1,0 +1,105 @@
+"""link, ftruncate, readdir, and /dev interactions."""
+
+import pytest
+
+from repro import O_CREAT, O_RDONLY, O_RDWR, SEEK_SET, System
+from repro.errors import EEXIST, EINVAL, EISDIR, ENOENT
+from tests.conftest import run_program
+
+
+def test_link_shares_the_inode():
+    def main(api, out):
+        fd = yield from api.open("/a", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"linked data")
+        yield from api.link("/a", "/b")
+        st_a = yield from api.stat("/a")
+        st_b = yield from api.stat("/b")
+        out["same_ino"] = st_a["ino"] == st_b["ino"]
+        out["nlink"] = st_b["nlink"]
+        fd_b = yield from api.open("/b", O_RDONLY)
+        out["data"] = yield from api.read(fd_b, 32)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["same_ino"]
+    assert out["nlink"] == 2
+    assert out["data"] == b"linked data"
+
+
+def test_link_survives_unlink_of_original():
+    def main(api, out):
+        fd = yield from api.creat("/orig")
+        yield from api.write(fd, b"persist")
+        yield from api.close(fd)
+        yield from api.link("/orig", "/other")
+        yield from api.unlink("/orig")
+        st = yield from api.stat("/other")
+        out["nlink"] = st["nlink"]
+        out["size"] = st["size"]
+        return 0
+
+    out, _ = run_program(main)
+    assert out["nlink"] == 1
+    assert out["size"] == 7
+
+
+def test_link_to_existing_name_is_eexist():
+    def main(api, out):
+        fd = yield from api.creat("/x")
+        yield from api.close(fd)
+        fd = yield from api.creat("/y")
+        yield from api.close(fd)
+        rc = yield from api.link("/x", "/y")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == EEXIST
+
+
+def test_link_directory_rejected():
+    def main(api, out):
+        yield from api.mkdir("/d")
+        rc = yield from api.link("/d", "/d2")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == EISDIR
+
+
+def test_ftruncate_shrinks_file():
+    def main(api, out):
+        fd = yield from api.open("/f", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"0123456789")
+        yield from api.ftruncate(fd, 4)
+        st = yield from api.fstat(fd)
+        out["size"] = st["size"]
+        yield from api.lseek(fd, 0, SEEK_SET)
+        out["data"] = yield from api.read(fd, 16)
+        rc = yield from api.ftruncate(fd, -1)
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["size"] == 4
+    assert out["data"] == b"0123"
+    assert out["errno"] == EINVAL
+
+
+def test_readdir_lists_sorted_entries():
+    def main(api, out):
+        yield from api.mkdir("/dir")
+        for name in ("zeta", "alpha", "mid"):
+            fd = yield from api.creat("/dir/%s" % name)
+            yield from api.close(fd)
+        out["names"] = yield from api.readdir("/dir")
+        out["root_has_dev"] = "dev" in (yield from api.readdir("/"))
+        rc = yield from api.readdir("/missing")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["names"] == ["alpha", "mid", "zeta"]
+    assert out["root_has_dev"]
+    assert out["errno"] == ENOENT

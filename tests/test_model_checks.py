@@ -1,0 +1,220 @@
+"""Model-checking style tests: safety under randomized schedules.
+
+These drive primitives with hypothesis-chosen interleavings and assert
+safety invariants that must hold in *every* schedule, not just the ones
+the deterministic workloads happen to produce.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import PR_SALL, System
+from repro.mem.frames import PAGE_SIZE
+from repro.sim.costs import CostModel
+from repro.sim.machine import Machine
+from repro.sync.sharedlock import SharedReadLock
+from repro.workloads import generators as gen
+from tests.conftest import run_program
+
+
+# ----------------------------------------------------------------------
+# shared read lock: safety under random step interleavings
+
+
+class _Waker:
+    def wakeup(self, proc):
+        proc.runnable = True
+
+
+class _P:
+    SLEEPING = "sleeping"
+
+    def __init__(self, name):
+        self.name = name
+        self.state = None
+        self.sleeping_on = None
+        self.sleep_interruptible = False
+        self.resume_value = None
+        self.runnable = True
+        self.gen = None
+        self.done = False
+
+
+def _stepper(lock, proc, kind, in_critical, log):
+    """One actor: acquire -> mark critical -> release, as a generator."""
+    if kind == "reader":
+        yield from lock.acquire_read(proc)
+        in_critical["readers"] += 1
+        log.append(("reader-in", in_critical.copy()))
+        yield None  # a schedule point inside the critical section
+        in_critical["readers"] -= 1
+        yield from lock.release_read(proc)
+    else:
+        yield from lock.acquire_update(proc)
+        in_critical["updaters"] += 1
+        log.append(("updater-in", in_critical.copy()))
+        yield None
+        in_critical["updaters"] -= 1
+        yield from lock.release_update(proc)
+    proc.done = True
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.sampled_from(["reader", "reader", "updater"]), min_size=1, max_size=6),
+    st.lists(st.integers(0, 5), min_size=1, max_size=200),
+)
+def test_sharedlock_safety_under_random_schedules(kinds, schedule):
+    """In no interleaving may an updater overlap anyone else."""
+    from repro.sim.effects import Block, Delay
+
+    machine = Machine(ncpus=1)
+    lock = SharedReadLock(machine, _Waker())
+    in_critical = {"readers": 0, "updaters": 0}
+    log = []
+    procs = []
+    for index, kind in enumerate(kinds):
+        proc = _P("p%d" % index)
+        proc.gen = _stepper(lock, proc, kind, in_critical, log)
+        procs.append(proc)
+
+    def step(proc):
+        if proc.done or not proc.runnable:
+            return
+        try:
+            effect = proc.gen.send(None)
+        except StopIteration:
+            proc.done = True
+            return
+        if isinstance(effect, Block):
+            proc.runnable = False  # until a wakeup flips it back
+
+    # drive by the random schedule, then round-robin to completion
+    for choice in schedule:
+        step(procs[choice % len(procs)])
+    for _ in range(10_000):
+        if all(proc.done for proc in procs):
+            break
+        for proc in procs:
+            step(proc)
+    assert all(proc.done for proc in procs), "lock starved a stub schedule"
+    for _what, snapshot in log:
+        if snapshot["updaters"]:
+            assert snapshot["updaters"] == 1
+            assert snapshot["readers"] == 0, "updater overlapped readers"
+
+
+# ----------------------------------------------------------------------
+# TLB capacity pressure
+
+
+def test_tlb_pressure_correctness_and_hit_rate():
+    """A working set far beyond TLB capacity stays correct; the hit rate
+    visibly collapses versus a cache-resident working set."""
+
+    def walker(api, ctx):
+        base, npages, rounds = ctx
+        for round_number in range(rounds):
+            for page in range(npages):
+                yield from api.store_word(
+                    base + page * PAGE_SIZE, round_number * npages + page
+                )
+        # verify last round's values
+        ok = True
+        for page in range(npages):
+            value = yield from api.load_word(base + page * PAGE_SIZE)
+            if value != (rounds - 1) * npages + page:
+                ok = False
+        return 0 if ok else 1
+
+    def run(npages, capacity):
+        out = {}
+
+        def main(api, out_dict):
+            base = yield from api.mmap(npages * PAGE_SIZE)
+            code = yield from walker(api, (base, npages, 4))
+            out_dict["code"] = code
+            return 0
+
+        sim = System(ncpus=1, tlb_capacity=capacity)
+        sim.spawn(main, out)
+        sim.run()
+        tlb = sim.machine.cpus[0].tlb
+        return out["code"], tlb.hit_rate
+
+    small_code, small_rate = run(npages=8, capacity=64)
+    big_code, big_rate = run(npages=256, capacity=16)
+    assert small_code == 0 and big_code == 0, "pressure must not corrupt data"
+    assert small_rate > 0.75  # only the cold-start misses
+    assert big_rate < 0.5, "a thrashing working set must miss (got %.2f)" % big_rate
+    assert small_rate > big_rate + 0.25
+
+
+def test_group_under_tiny_tlb_still_correct():
+    def member(api, ctx):
+        base, stride = ctx
+        for index in range(64):
+            yield from api.fetch_add(base + (index % 32) * stride, 1)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(32 * PAGE_SIZE)
+        for _ in range(3):
+            yield from api.sproc(member, PR_SALL, (base, PAGE_SIZE))
+        for _ in range(3):
+            yield from api.wait()
+        total = 0
+        for index in range(32):
+            total += yield from api.load_word(base + index * PAGE_SIZE)
+        out["total"] = total
+        return 0
+
+    out = {}
+    sim = System(ncpus=2, tlb_capacity=4)  # brutally small
+    sim.spawn(main, out)
+    sim.run()
+    assert out["total"] == 3 * 64
+
+
+# ----------------------------------------------------------------------
+# cost-model robustness: timing changes, answers do not
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(1, 2**31))
+def test_results_invariant_under_random_cost_models(seed):
+    rng = gen.lcg(seed)
+
+    def pick(low, high):
+        return low + next(rng) % (high - low + 1)
+
+    costs = CostModel(
+        mem_access=pick(1, 100),
+        syscall_entry=pick(10, 500),
+        syscall_exit=pick(10, 400),
+        context_switch=pick(100, 5000),
+        quantum=pick(10_000, 200_000),
+        page_zero=pick(100, 3000),
+        disk_latency=pick(1000, 50_000),
+        spin_poll=pick(1, 40),
+    )
+
+    def member(api, base):
+        for _ in range(20):
+            yield from api.fetch_add(base, 1)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        for _ in range(3):
+            yield from api.sproc(member, PR_SALL, base)
+        for _ in range(3):
+            yield from api.wait()
+        out["count"] = yield from api.load_word(base)
+        return 0
+
+    out = {}
+    sim = System(ncpus=3, costs=costs)
+    sim.spawn(main, out)
+    sim.run()
+    assert out["count"] == 60, "cost constants must never change answers"

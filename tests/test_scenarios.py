@@ -1,0 +1,310 @@
+"""End-to-end scenarios: multi-program applications on the full system."""
+
+import pytest
+
+from repro import (
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    PR_SALL,
+    SEEK_SET,
+    System,
+    status_code,
+)
+from tests.conftest import run_program
+
+
+def test_shell_style_pipeline_with_exec():
+    """cat | upper | count: three exec'd images glued with pipes and
+    dup2 onto stdin/stdout — the classic shell contract."""
+
+    def cat(api, arg):
+        fd = yield from api.open("/input.txt", O_RDONLY)
+        while True:
+            chunk = yield from api.read(fd, 64)
+            if not chunk:
+                break
+            yield from api.write(1, chunk)
+        yield from api.close(1)
+        return 0
+
+    def upper(api, arg):
+        while True:
+            chunk = yield from api.read(0, 64)
+            if not chunk:
+                break
+            yield from api.write(1, bytes(chunk).upper())
+        yield from api.close(1)
+        return 0
+
+    def count(api, arg):
+        total = 0
+        while True:
+            chunk = yield from api.read(0, 64)
+            if not chunk:
+                break
+            total += len(chunk)
+        out_fd = yield from api.open("/result.txt", O_WRONLY | O_CREAT)
+        yield from api.write(out_fd, b"%d" % total)
+        return 0
+
+    def stage(api, ctx):
+        """fork helper: wire stdin/stdout then exec the image."""
+        stdin_fd, stdout_fd, close_fds, path = ctx
+        if stdin_fd is not None:
+            yield from api.dup2(stdin_fd, 0)
+        if stdout_fd is not None:
+            yield from api.dup2(stdout_fd, 1)
+        for fd in close_fds:
+            yield from api.close(fd)
+        yield from api.exec(path)
+        return 127
+
+    def main(api, out):
+        # occupy fds 0/1/2 the way a real shell's stdio would, so the
+        # pipes land above the standard descriptors
+        for _ in range(3):
+            yield from api.open("/dev/null", O_RDWR)
+        fd = yield from api.creat("/input.txt")
+        yield from api.write(fd, b"hello pipeline world")
+        yield from api.close(fd)
+
+        p1_r, p1_w = yield from api.pipe()
+        p2_r, p2_w = yield from api.pipe()
+        all_fds = [p1_r, p1_w, p2_r, p2_w]
+
+        def others(*keep):
+            return [fd for fd in all_fds if fd not in keep]
+
+        yield from api.fork(stage, (None, p1_w, others(p1_w), "/bin/cat"))
+        yield from api.fork(stage, (p1_r, p2_w, others(p1_r, p2_w), "/bin/upper"))
+        yield from api.fork(stage, (p2_r, None, others(p2_r), "/bin/count"))
+        for fd in all_fds:
+            yield from api.close(fd)
+        for _ in range(3):
+            _, status = yield from api.wait()
+            assert status_code(status) == 0, status
+        result_fd = yield from api.open("/result.txt", O_RDONLY)
+        out["count"] = yield from api.read(result_fd, 16)
+        return 0
+
+    out = {}
+    sim = System(ncpus=2)
+    for name, func in (("cat", cat), ("upper", upper), ("count", count)):
+        sim.register_program("/bin/%s" % name, func)
+    sim.spawn(lambda api, a: main(api, out))
+    sim.run()
+    assert out["count"] == b"20"
+
+
+def test_logging_server_collects_from_many_clients():
+    """N clients connect and send records; the server appends them to a
+    log file.  Verifies every record arrives exactly once."""
+    nclients = 5
+
+    def server(api, arg):
+        listener = yield from api.socket()
+        yield from api.bind(listener, "logd")
+        yield from api.listen(listener, nclients)
+        log_fd = yield from api.open("/var/log/app", O_RDWR | O_CREAT)
+        for _ in range(nclients):
+            conn = yield from api.accept(listener)
+            record = bytearray()
+            while True:
+                chunk = yield from api.recv(conn, 64)
+                if not chunk:
+                    break
+                record += chunk
+            yield from api.write(log_fd, bytes(record) + b"\n")
+            yield from api.close(conn)
+        return 0
+
+    def client(api, index):
+        yield from api.compute(20_000 + index * 7_000)
+        sock = yield from api.socket()
+        yield from api.connect(sock, "logd")
+        yield from api.send(sock, b"record-%d" % index)
+        yield from api.close(sock)
+        return 0
+
+    def main(api, out):
+        yield from api.mkdir("/var")
+        yield from api.mkdir("/var/log")
+        yield from api.fork(server)
+        for index in range(nclients):
+            yield from api.fork(client, index)
+        for _ in range(nclients + 1):
+            _, status = yield from api.wait()
+            assert status_code(status) == 0
+        fd = yield from api.open("/var/log/app", O_RDONLY)
+        out["log"] = yield from api.read(fd, 4096)
+        return 0
+
+    out, _ = run_program(main, ncpus=3)
+    lines = sorted(out["log"].split())
+    assert lines == [b"record-%d" % index for index in range(nclients)]
+
+
+def test_two_independent_share_groups_coexist():
+    """Two groups on one machine: no cross-talk in resources or stats."""
+
+    def member(api, ctx):
+        base, tag = ctx
+        for _ in range(50):
+            yield from api.fetch_add(base, tag)
+        return 0
+
+    def group_leader(api, ctx):
+        out, tag = ctx
+        base = yield from api.mmap(4096)
+        for _ in range(2):
+            yield from api.sproc(member, PR_SALL, (base, tag))
+        for _ in range(2):
+            yield from api.wait()
+        out["sum_%d" % tag] = yield from api.load_word(base)
+        return 0
+
+    def main(api, out):
+        yield from api.fork(group_leader, (out, 1))
+        yield from api.fork(group_leader, (out, 3))
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, sim = run_program(main, ncpus=4)
+    assert out["sum_1"] == 100
+    assert out["sum_3"] == 300
+    assert sim.stats["groups_created"] == 2
+    assert sim.stats["groups_freed"] == 2
+
+
+def test_group_with_aio_and_workqueue_together():
+    """The runtime pieces compose: a pool consumes work items that name
+    file blocks, fetched through a shared aio ring."""
+    from repro.runtime import AioRing, WorkQueue
+
+    def consumer(api, ctx):
+        ring_base, queue_base, results = ctx["ring"], ctx["queue"], ctx["results"]
+        from repro.runtime.aio import AioRing as Ring
+        from repro.runtime.workqueue import WorkQueue as Queue
+
+        ring = yield from Ring.attach(api, ring_base)
+        queue = yield from Queue.attach(api, queue_base)
+        buf = yield from api.mmap(4096)
+        while True:
+            block = yield from queue.pop(api)
+            if block is None:
+                return 0
+            handle = yield from ring.submit_read(api, ctx["fd"], buf, 16, block * 16)
+            n = yield from ring.wait(api, handle)
+            data = yield from api.load(buf, n)
+            results.append(bytes(data))
+
+    def main(api, out):
+        fd = yield from api.open("/blocks", O_RDWR | O_CREAT)
+        payload = b"".join(b"%015d\n" % index for index in range(8))
+        yield from api.write(fd, payload)
+        ring = yield from AioRing.create(api, nworkers=2)
+        queue = yield from WorkQueue.create(api, 16)
+        results = []
+        ctx = {
+            "ring": ring.ctl_base,
+            "queue": queue.base,
+            "results": results,
+            "fd": fd,
+        }
+        for _ in range(2):
+            yield from api.sproc(consumer, PR_SALL, ctx)
+        for block in range(8):
+            yield from queue.push(api, block)
+        yield from queue.close(api)
+        for _ in range(2):
+            yield from api.wait()
+        yield from ring.shutdown(api)
+        out["blocks"] = sorted(results)
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["blocks"] == [b"%015d\n" % index for index in range(8)]
+
+
+def test_chrooted_group_confined_together():
+    """chroot by one member confines the whole sharing group."""
+
+    def prober(api, out):
+        yield from api.getpid()  # pick up the shared rdir
+        out["escape"] = yield from api.stat("/outside")
+        out["inside"] = yield from api.stat("/inner")
+        return 0
+
+    def main(api, out):
+        yield from api.mkdir("/jail")
+        fd = yield from api.creat("/jail/inner")
+        yield from api.close(fd)
+        fd = yield from api.creat("/outside")
+        yield from api.close(fd)
+        yield from api.sproc(_chrooter, PR_SALL)
+        yield from api.wait()
+        yield from api.sproc(prober, PR_SALL, out)
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["escape"] == -1, "the group must be confined"
+    assert out["inside"] != -1
+
+
+def _chrooter(api, arg):
+    yield from api.chroot("/jail")
+    yield from api.chdir("/")
+    return 0
+
+
+def test_producer_consumer_tree_with_mixed_mechanisms():
+    """A group hub fans work out to a non-group fork child over a pipe
+    while group members share results in memory — mechanisms mix freely."""
+
+    def outside_squarer(api, ctx):
+        rfd, wfd = ctx[0], ctx[1]
+        # close the fork-duplicated copies of the parent's ends
+        for extra in ctx[2]:
+            yield from api.close(extra)
+        while True:
+            raw = yield from api.read(rfd, 4)
+            if not raw:
+                break
+            value = int.from_bytes(raw, "little")
+            yield from api.write(wfd, (value * value).to_bytes(4, "little"))
+        yield from api.close(wfd)
+        return 0
+
+    def member_adder(api, ctx):
+        base, n = ctx
+        for index in range(n):
+            yield from api.fetch_add(base, index)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        down_r, down_w = yield from api.pipe()
+        up_r, up_w = yield from api.pipe()
+        yield from api.fork(outside_squarer, (down_r, up_w, (down_w, up_r)))
+        yield from api.close(down_r)
+        yield from api.close(up_w)
+        yield from api.sproc(member_adder, PR_SALL, (base, 10))
+        total = 0
+        for value in (3, 4, 5):
+            yield from api.write(down_w, value.to_bytes(4, "little"))
+            raw = yield from api.read(up_r, 4)
+            total += int.from_bytes(raw, "little")
+        yield from api.close(down_w)
+        yield from api.wait()
+        yield from api.wait()
+        out["squares"] = total
+        out["adds"] = yield from api.load_word(base)
+        return 0
+
+    out, _ = run_program(main, ncpus=3)
+    assert out["squares"] == 9 + 16 + 25
+    assert out["adds"] == sum(range(10))

@@ -1,0 +1,234 @@
+"""Scheduler and CPU interpreter behaviour: parallelism, preemption,
+quantum slicing, priorities, gang mode."""
+
+import pytest
+
+from repro import PR_SALL, PR_SETGANG, System, status_code
+from tests.conftest import run_program
+
+
+def test_two_cpus_run_compute_in_parallel():
+    """Two CPU-bound children on 2 CPUs finish in ~half the serial time."""
+    work = 400_000
+
+    def child(api, arg):
+        yield from api.compute(work)
+        return 0
+
+    def main(api, out):
+        start = api.now
+        yield from api.fork(child)
+        yield from api.fork(child)
+        yield from api.wait()
+        yield from api.wait()
+        out["elapsed"] = api.now - start
+        return 0
+
+    out2, _ = run_program(main, ncpus=2)
+    out1, _ = run_program(main, ncpus=1)
+    assert out1["elapsed"] > 1.7 * out2["elapsed"], (
+        "1-CPU run should be ~2x slower: %s vs %s"
+        % (out1["elapsed"], out2["elapsed"])
+    )
+
+
+def test_speedup_scales_with_cpus():
+    work = 200_000
+    nchildren = 4
+
+    def child(api, arg):
+        yield from api.compute(work)
+        return 0
+
+    def main(api, out):
+        start = api.now
+        for _ in range(nchildren):
+            yield from api.fork(child)
+        for _ in range(nchildren):
+            yield from api.wait()
+        out["elapsed"] = api.now - start
+        return 0
+
+    elapsed = {}
+    for ncpus in (1, 2, 4):
+        out, _ = run_program(main, ncpus=ncpus)
+        elapsed[ncpus] = out["elapsed"]
+    assert elapsed[1] > elapsed[2] > elapsed[4]
+    assert elapsed[1] / elapsed[4] > 2.5
+
+
+def test_quantum_interleaves_cpu_hogs():
+    """On one CPU two compute-bound procs must time-slice, not run FIFO."""
+
+    def hog(api, ctx):
+        log, tag = ctx
+        for _ in range(6):
+            yield from api.compute(60_000)  # less than a quantum each
+            log.append((tag, api.now))
+        return 0
+
+    def main(api, log):
+        yield from api.fork(hog, (log, "A"))
+        yield from api.fork(hog, (log, "B"))
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    log = []
+    sim = System(ncpus=1)
+    sim.spawn(lambda api, a: main(api, log))
+    sim.run()
+    tags = [tag for tag, _ in log]
+    # both procs must make progress before either finishes
+    first_b = tags.index("B")
+    last_a = len(tags) - 1 - tags[::-1].index("A")
+    assert first_b < last_a, "B never ran before A finished: %s" % tags
+
+
+def test_priority_preemption_favors_low_pri_number():
+    """A nice'd (worse) process must not starve the better one."""
+
+    def low(api, out):
+        yield from api.nice(10)  # worse priority
+        yield from api.compute(200_000)
+        out["low_done"] = api.now
+        return 0
+
+    def high(api, out):
+        yield from api.compute(200_000)
+        out["high_done"] = api.now
+        return 0
+
+    def main(api, out):
+        yield from api.fork(low, out)
+        yield from api.compute(5000)
+        yield from api.fork(high, out)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=1)
+    assert out["high_done"] < out["low_done"]
+
+
+def test_yield_cpu_rotates_the_run_queue():
+    def polite(api, ctx):
+        log, tag = ctx
+        for _ in range(3):
+            log.append(tag)
+            yield from api.yield_cpu()
+        return 0
+
+    def main(api, log):
+        yield from api.fork(polite, (log, "A"))
+        yield from api.fork(polite, (log, "B"))
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    log = []
+    sim = System(ncpus=1)
+    sim.spawn(lambda api, a: main(api, log))
+    sim.run()
+    assert "A" in log and "B" in log
+    # yields should interleave rather than batch
+    assert log != sorted(log)
+
+
+def test_idle_cpu_picks_up_new_work_immediately():
+    def child(api, out):
+        out["child_started"] = api.now
+        yield from api.compute(10)
+        return 0
+
+    def main(api, out):
+        out["forked_at"] = api.now
+        yield from api.fork(child, out)
+        yield from api.wait()
+        return 0
+
+    out, sim = run_program(main, ncpus=2)
+    # dispatch latency should be on the order of a context switch
+    assert out["child_started"] - out["forked_at"] < 20_000
+
+
+def test_cpu_utilization_accounting():
+    def child(api, arg):
+        yield from api.compute(100_000)
+        return 0
+
+    def main(api, out):
+        yield from api.fork(child)
+        yield from api.fork(child)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, sim = run_program(main, ncpus=2)
+    assert 0.1 < sim.machine.utilization() <= 1.0
+
+
+def test_gang_scheduling_dispatches_members_together():
+    """Extension (section 8): gang members run side by side."""
+
+    def member(api, ctx):
+        log, tag = ctx
+        log.append((tag, "start", api.now))
+        yield from api.compute(50_000)
+        log.append((tag, "end", api.now))
+        return 0
+
+    def main(api, log):
+        yield from api.prctl(PR_SETGANG, 1)  # fails: not yet in a group
+        yield from api.sproc(member, PR_SALL, (log, "m1"))
+        yield from api.prctl(PR_SETGANG, 1)
+        yield from api.sproc(member, PR_SALL, (log, "m2"))
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    log = []
+    sim = System(ncpus=4)
+    sim.spawn(lambda api, a: main(api, log))
+    sim.run()
+    starts = sorted(t for _, what, t in log if what == "start")
+    assert len(starts) == 2
+    # co-dispatch: start times within one context-switch of each other
+    assert starts[1] - starts[0] < 5_000
+
+
+def test_no_proc_on_two_cpus_at_once():
+    """Invariant check while a busy workload runs."""
+
+    def child(api, arg):
+        for _ in range(10):
+            yield from api.compute(5_000)
+            yield from api.yield_cpu()
+        return 0
+
+    sim = System(ncpus=4)
+    seen_bad = []
+
+    def main(api, arg):
+        for _ in range(8):
+            yield from api.fork(child)
+        for _ in range(8):
+            yield from api.wait()
+        return 0
+
+    sim.spawn(main)
+    machine = sim.machine
+    engine = sim.engine
+    guard = {"stop": False}
+
+    def check():
+        running = [cpu.current for cpu in machine.cpus if cpu.current]
+        if len(running) != len(set(running)):
+            seen_bad.append(list(running))
+        if not guard["stop"]:
+            engine.schedule(1_000, check)
+
+    engine.schedule(1_000, check)
+    engine.run(max_events=500_000)
+    guard["stop"] = True
+    assert not seen_bad

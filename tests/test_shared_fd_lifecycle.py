@@ -1,0 +1,132 @@
+"""Regression tests: descriptor lifecycle through the sharing protocol.
+
+The shared address block and the member tables all hold references to
+open files; whichever drops the *last* one must run the kernel's full
+close path (pipe endpoint counts, socket teardown).  These tests pin the
+bug where ``s_ofile``'s refresh dropped final references with a bare
+``release()`` and a pipe reader waited for an EOF that never came.
+"""
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, PR_SALL, PR_SFDS, System, status_code
+from tests.conftest import run_program
+
+
+def test_group_close_of_pipe_write_end_delivers_eof():
+    """A non-member reader must see EOF once every member (and the
+    shaddr copy) has let go of the write end."""
+
+    def reader(api, ctx):
+        rfd = ctx[0]
+        for extra in ctx[1]:
+            yield from api.close(extra)
+        data = bytearray()
+        while True:
+            chunk = yield from api.read(rfd, 16)
+            if not chunk:
+                break
+            data += chunk
+        return len(data)
+
+    def main(api, out):
+        rfd, wfd = yield from api.pipe()
+        yield from api.fork(reader, (rfd, (wfd,)))
+        yield from api.close(rfd)
+        # becoming a group captures wfd into s_ofile
+        yield from api.sproc(_noop_member, PR_SALL)
+        yield from api.wait()
+        yield from api.write(wfd, b"payload")
+        yield from api.close(wfd)  # must purge the shaddr copy too
+        _, status = yield from api.wait()
+        out["reader_got"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["reader_got"] == len(b"payload")
+
+
+def _noop_member(api, arg):
+    yield from api.compute(10)
+    return 0
+
+
+def test_member_exit_does_not_close_group_descriptors():
+    """The shaddr's reference keeps shared files open past any member's
+    exit (the paper's exit race)."""
+
+    def opener(api, arg):
+        fd = yield from api.open("/kept", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"still open")
+        return 0
+
+    def main(api, out):
+        yield from api.sproc(opener, PR_SALL)
+        yield from api.wait()
+        yield from api.getpid()  # import the descriptor
+        yield from api.lseek(0, 0, 0)
+        out["data"] = yield from api.read(0, 32)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["data"] == b"still open"
+
+
+def test_socket_teardown_through_group_close():
+    """Peer EOF must arrive when a socket's last reference is the shaddr
+    copy being refreshed away."""
+
+    def peer(api, ctx):
+        fd = ctx[0]
+        for extra in ctx[1]:
+            yield from api.close(extra)
+        got = bytearray()
+        while True:
+            chunk = yield from api.recv(fd, 16)
+            if not chunk:
+                break
+            got += chunk
+        return len(got)
+
+    def main(api, out):
+        fd_a, fd_b = yield from api.socketpair()
+        yield from api.fork(peer, (fd_b, (fd_a,)))
+        yield from api.close(fd_b)
+        yield from api.sproc(_noop_member, PR_SALL)
+        yield from api.wait()
+        yield from api.send(fd_a, b"bye")
+        yield from api.close(fd_a)
+        _, status = yield from api.wait()
+        out["peer_got"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["peer_got"] == 3
+
+
+def test_member_sync_dropping_last_ref_runs_close_path():
+    """A member whose table re-sync drops the last reference to a pipe
+    end must trigger the endpoint bookkeeping."""
+
+    def sleeper_member(api, ctx):
+        # hold a stale view (with the pipe write end), then sync late
+        wake, rfd = ctx
+        while (yield from api.load_word(wake)) == 0:
+            yield from api.yield_cpu()
+        yield from api.getpid()  # sync: drops our wfd copy (last ref)
+        data = yield from api.read(rfd, 16)  # EOF must arrive
+        return 0 if data == b"" else 1
+
+    def main(api, out):
+        wake = yield from api.mmap(4096)
+        rfd, wfd = yield from api.pipe()
+        pid = yield from api.sproc(sleeper_member, PR_SALL, (wake, rfd))
+        yield from api.compute(20_000)
+        yield from api.close(wfd)  # main's copy + shaddr purge
+        yield from api.store_word(wake, 1)
+        _, status = yield from api.wait()
+        out["code"] = status_code(status)
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["code"] == 0

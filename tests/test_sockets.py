@@ -1,0 +1,231 @@
+"""Local sockets: connect/accept, data transfer, descriptor passing."""
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, SEEK_SET, System, status_code
+from repro.errors import ECONNREFUSED, EINTR, ENOTCONN, ENOTSOCK, EPIPE
+from tests.conftest import run_program
+
+
+def test_socketpair_bidirectional():
+    def main(api, out):
+        a, b = yield from api.socketpair()
+        yield from api.send(a, b"ping")
+        out["b_got"] = yield from api.recv(b, 16)
+        yield from api.send(b, b"pong")
+        out["a_got"] = yield from api.recv(a, 16)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["b_got"] == b"ping"
+    assert out["a_got"] == b"pong"
+
+
+def test_connect_accept_flow():
+    def server(api, out):
+        s = yield from api.socket()
+        yield from api.bind(s, "srv")
+        yield from api.listen(s, 4)
+        conn = yield from api.accept(s)
+        data = yield from api.recv(conn, 64)
+        yield from api.send(conn, b"ACK:" + data)
+        return 0
+
+    def client(api, out):
+        yield from api.compute(30_000)
+        s = yield from api.socket()
+        yield from api.connect(s, "srv")
+        yield from api.send(s, b"req")
+        out["reply"] = yield from api.recv(s, 64)
+        return 0
+
+    def main(api, out):
+        yield from api.fork(server, out)
+        yield from api.fork(client, out)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["reply"] == b"ACK:req"
+
+
+def test_connect_to_unbound_name_refused():
+    def main(api, out):
+        s = yield from api.socket()
+        rc = yield from api.connect(s, "nobody")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == ECONNREFUSED
+
+
+def test_connect_without_listen_refused():
+    def main(api, out):
+        s = yield from api.socket()
+        yield from api.bind(s, "bound-not-listening")
+        c = yield from api.socket()
+        rc = yield from api.connect(c, "bound-not-listening")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == ECONNREFUSED
+
+
+def test_send_on_unconnected_is_enotconn():
+    def main(api, out):
+        s = yield from api.socket()
+        rc = yield from api.send(s, b"x")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == ENOTCONN
+
+
+def test_socket_ops_on_regular_fd_are_enotsock():
+    def main(api, out):
+        fd = yield from api.open("/f", O_RDWR | O_CREAT)
+        rc = yield from api.send(fd, b"x")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == ENOTSOCK
+
+
+def test_recv_eof_after_peer_close():
+    def main(api, out):
+        a, b = yield from api.socketpair()
+        yield from api.send(a, b"tail")
+        yield from api.close(a)
+        out["data"] = yield from api.recv(b, 16)
+        out["eof"] = yield from api.recv(b, 16)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["data"] == b"tail"
+    assert out["eof"] == b""
+
+
+def test_send_after_peer_close_is_epipe():
+    from repro import SIG_IGN, SIGPIPE
+
+    def main(api, out):
+        a, b = yield from api.socketpair()
+        yield from api.close(b)
+        yield from api.signal(SIGPIPE, SIG_IGN)
+        rc = yield from api.send(a, b"x")
+        out["errno"] = yield from api.errno()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["errno"] == EPIPE
+
+
+def test_large_transfer_blocks_and_completes():
+    from repro.ipc.socket import SOCK_BUF
+
+    def sender(api, fd):
+        yield from api.send(fd, b"z" * (SOCK_BUF * 3))
+        yield from api.close(fd)
+        return 0
+
+    def main(api, out):
+        a, b = yield from api.socketpair()
+        yield from api.fork(sender, a)
+        yield from api.close(a)
+        total = 0
+        while True:
+            chunk = yield from api.recv(b, 4096)
+            if not chunk:
+                break
+            total += len(chunk)
+        out["total"] = total
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    from repro.ipc.socket import SOCK_BUF
+
+    assert out["total"] == SOCK_BUF * 3
+
+
+def test_descriptor_passing_transfers_open_file():
+    """The paper's introduction example: a server opens a descriptor and
+    hands it to a waiting child over a queue."""
+
+    def server(api, out):
+        s = yield from api.socket()
+        yield from api.bind(s, "passer")
+        yield from api.listen(s)
+        conn = yield from api.accept(s)
+        fd = yield from api.open("/payload", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"delivered")
+        yield from api.sendfd(conn, fd)
+        yield from api.close(fd)  # server's copy can go; the file lives on
+        return 0
+
+    def worker(api, out):
+        yield from api.compute(30_000)
+        s = yield from api.socket()
+        yield from api.connect(s, "passer")
+        fd = yield from api.recvfd(s)
+        yield from api.lseek(fd, 0, SEEK_SET)
+        out["data"] = yield from api.read(fd, 64)
+        return 0
+
+    def main(api, out):
+        yield from api.fork(server, out)
+        yield from api.fork(worker, out)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main)
+    assert out["data"] == b"delivered"
+
+
+def test_backlog_limit_refuses_excess_connections():
+    def main(api, out):
+        s = yield from api.socket()
+        yield from api.bind(s, "tiny")
+        yield from api.listen(s, 1)
+        c1 = yield from api.socket()
+        yield from api.connect(c1, "tiny")  # fills the backlog
+        c2 = yield from api.socket()
+        rc = yield from api.connect(c2, "tiny")
+        out["errno"] = yield from api.errno()
+        out["rc"] = rc
+        return 0
+
+    out, _ = run_program(main)
+    assert out["rc"] == -1
+    assert out["errno"] == ECONNREFUSED
+
+
+def test_accept_blocks_until_connection():
+    def late_client(api, arg):
+        yield from api.compute(50_000)
+        s = yield from api.socket()
+        yield from api.connect(s, "patient")
+        yield from api.send(s, b"hi")
+        return 0
+
+    def main(api, out):
+        s = yield from api.socket()
+        yield from api.bind(s, "patient")
+        yield from api.listen(s)
+        yield from api.fork(late_client)
+        start = api.now
+        conn = yield from api.accept(s)
+        out["waited"] = api.now - start
+        out["data"] = yield from api.recv(conn, 16)
+        yield from api.wait()
+        return 0
+
+    out, _ = run_program(main, ncpus=2)
+    assert out["waited"] >= 40_000
+    assert out["data"] == b"hi"

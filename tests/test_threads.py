@@ -1,0 +1,131 @@
+"""Mach-style threads baseline: share-everything semantics and costs."""
+
+import pytest
+
+from repro import O_CREAT, O_RDWR, SEEK_SET, System, status_code
+from tests.conftest import run_program
+
+
+def test_threads_share_memory_without_any_setup():
+    def worker(api, base):
+        yield from api.store_word(base, 1234)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        yield from api.thread_create(worker, base)
+        yield from api.thread_join()
+        out["value"] = yield from api.load_word(base)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["value"] == 1234
+
+
+def test_threads_share_descriptors_instantly():
+    """Unlike share groups there is no sync-on-entry: the table object
+    itself is shared, so a descriptor opened by one thread is visible to
+    another immediately (and unselectively)."""
+
+    def opener(api, arg):
+        fd = yield from api.open("/t", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"thread data")
+        return fd
+
+    def main(api, out):
+        yield from api.thread_create(opener)
+        pid, status = yield from api.thread_join()
+        fd = status_code(status)
+        yield from api.lseek(fd, 0, SEEK_SET)
+        out["data"] = yield from api.read(fd, 64)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["data"] == b"thread data"
+
+
+def test_threads_have_no_private_prda():
+    """The errno problem the paper calls out: threads share the PRDA."""
+    from repro.runtime.prda import PRDA_USER
+
+    def clobberer(api, arg):
+        yield from api.store_word(PRDA_USER, 666)
+        return 0
+
+    def main(api, out):
+        yield from api.store_word(PRDA_USER, 1)
+        yield from api.thread_create(clobberer)
+        yield from api.thread_join()
+        out["value"] = yield from api.load_word(PRDA_USER)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["value"] == 666, "thread write must clobber the task's PRDA"
+
+
+def test_thread_exit_keeps_task_resources_alive():
+    def short(api, arg):
+        yield from api.compute(100)
+        return 0
+
+    def main(api, out):
+        fd = yield from api.open("/keep", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"alive")
+        yield from api.thread_create(short)
+        yield from api.thread_join()
+        yield from api.lseek(fd, 0, SEEK_SET)
+        out["data"] = yield from api.read(fd, 16)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["data"] == b"alive"
+
+
+def test_thread_creation_much_cheaper_than_fork():
+    def noop(api, arg):
+        return 0
+        yield
+
+    def time_thread(api, out):
+        start = api.now
+        yield from api.thread_create(noop)
+        out["thread_cycles"] = api.now - start
+        yield from api.thread_join()
+        return 0
+
+    def time_fork(api, out):
+        # touch some pages so fork has page-table work to copy
+        base = yield from api.mmap(16 * 4096)
+        for page in range(16):
+            yield from api.store_word(base + page * 4096, page)
+        start = api.now
+        yield from api.fork(noop)
+        out["fork_cycles"] = api.now - start
+        yield from api.wait()
+        return 0
+
+    out_a, _ = run_program(time_thread)
+    out_b, _ = run_program(time_fork)
+    ratio = out_b["fork_cycles"] / out_a["thread_cycles"]
+    assert ratio > 2.0, "thread creation should be much cheaper (got %.1fx)" % ratio
+
+
+def test_many_threads_parallel_sum():
+    def worker(api, ctx):
+        base, index = ctx >> 8, ctx & 0xFF
+        for _ in range(20):
+            yield from api.fetch_add(base, index)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        nthreads = 4
+        for index in range(1, nthreads + 1):
+            yield from api.thread_create(worker, (base << 8) | index)
+        for _ in range(nthreads):
+            yield from api.thread_join()
+        out["sum"] = yield from api.load_word(base)
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["sum"] == 20 * (1 + 2 + 3 + 4)

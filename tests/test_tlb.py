@@ -1,0 +1,82 @@
+"""Unit tests for the software-managed TLB."""
+
+from repro.sim.tlb import TLB
+
+
+def test_miss_then_hit():
+    tlb = TLB(4)
+    assert tlb.lookup(1, 0x100) is None
+    tlb.insert(1, 0x100, 7, writable=True)
+    entry = tlb.lookup(1, 0x100)
+    assert entry is not None
+    assert entry.pfn == 7
+    assert entry.writable
+    assert tlb.hits == 1
+    assert tlb.misses == 1
+
+
+def test_asid_keys_are_distinct():
+    tlb = TLB(4)
+    tlb.insert(1, 0x100, 7, writable=True)
+    assert tlb.lookup(2, 0x100) is None
+
+
+def test_fifo_eviction_at_capacity():
+    tlb = TLB(2)
+    tlb.insert(1, 0x1, 10, True)
+    tlb.insert(1, 0x2, 11, True)
+    tlb.insert(1, 0x3, 12, True)  # evicts vpn 0x1
+    assert tlb.probe(1, 0x1) is None
+    assert tlb.probe(1, 0x2) is not None
+    assert tlb.probe(1, 0x3) is not None
+    assert len(tlb) == 2
+
+
+def test_reinsert_updates_in_place():
+    tlb = TLB(2)
+    tlb.insert(1, 0x1, 10, True)
+    tlb.insert(1, 0x1, 20, False)
+    assert len(tlb) == 1
+    entry = tlb.probe(1, 0x1)
+    assert entry.pfn == 20
+    assert not entry.writable
+
+
+def test_flush_all():
+    tlb = TLB(8)
+    tlb.insert(1, 0x1, 1, True)
+    tlb.insert(2, 0x2, 2, True)
+    tlb.flush_all()
+    assert len(tlb) == 0
+    assert tlb.flushes == 1
+
+
+def test_flush_asid_is_selective():
+    tlb = TLB(8)
+    tlb.insert(1, 0x1, 1, True)
+    tlb.insert(1, 0x2, 2, True)
+    tlb.insert(2, 0x3, 3, True)
+    tlb.flush_asid(1)
+    assert tlb.probe(1, 0x1) is None
+    assert tlb.probe(1, 0x2) is None
+    assert tlb.probe(2, 0x3) is not None
+
+
+def test_flush_page_and_range():
+    tlb = TLB(8)
+    for vpn in range(4):
+        tlb.insert(1, vpn, vpn + 10, True)
+    tlb.flush_page(1, 2)
+    assert tlb.probe(1, 2) is None
+    tlb.flush_range(1, 0, 2)
+    assert tlb.probe(1, 0) is None
+    assert tlb.probe(1, 1) is None
+    assert tlb.probe(1, 3) is not None
+
+
+def test_hit_rate():
+    tlb = TLB(8)
+    tlb.insert(1, 0x1, 1, True)
+    tlb.lookup(1, 0x1)
+    tlb.lookup(1, 0x2)
+    assert tlb.hit_rate == 0.5

@@ -1,0 +1,121 @@
+"""The kernel event tracer."""
+
+import pytest
+
+from repro import PR_SALL, SIGUSR1, System
+from repro.sim.trace import Tracer
+from tests.conftest import run_program
+
+
+def traced_run(main, ncpus=2, capacity=10_000):
+    out = {}
+    sim = System(ncpus=ncpus)
+    tracer = Tracer.attach(sim.kernel, capacity)
+    sim.spawn(main, out)
+    sim.run()
+    return out, sim, tracer
+
+
+def test_trace_records_syscalls_with_handler_names():
+    def main(api, out):
+        yield from api.getpid()
+        yield from api.mmap(4096)
+        return 0
+
+    out, sim, tracer = traced_run(main)
+    names = [event.detail for event in tracer.events("syscall")]
+    assert "sys_getpid" in names
+    assert "sys_mmap" in names
+
+
+def test_trace_records_lifecycle_in_order():
+    def child(api, arg):
+        yield from api.compute(100)
+        return 0
+
+    def main(api, out):
+        yield from api.sproc(child, PR_SALL)
+        yield from api.wait()
+        return 0
+
+    out, sim, tracer = traced_run(main)
+    kinds = [event.kind for event in tracer.events()]
+    assert "sproc" in kinds
+    assert "exit" in kinds
+    sproc_at = next(e.time for e in tracer.events("sproc"))
+    exit_at = max(e.time for e in tracer.events("exit"))
+    assert sproc_at < exit_at
+
+
+def test_trace_records_faults_and_dispatches():
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        yield from api.store_word(base, 1)
+        return 0
+
+    out, sim, tracer = traced_run(main)
+    assert tracer.count("fault") >= 1
+    assert tracer.count("dispatch") >= 1
+    fault = tracer.last("fault")
+    assert "zero" in fault.detail
+
+
+def test_trace_records_signals():
+    def victim(api, arg):
+        yield from api.pause()
+        return 0
+
+    def main(api, out):
+        from repro import SIGKILL
+
+        pid = yield from api.fork(victim)
+        yield from api.compute(10_000)
+        yield from api.kill(pid, SIGKILL)
+        yield from api.wait()
+        return 0
+
+    out, sim, tracer = traced_run(main)
+    assert tracer.count("signal") >= 1
+
+
+def test_ring_bounds_and_drop_count():
+    def main(api, out):
+        for _ in range(50):
+            yield from api.getpid()
+        return 0
+
+    out, sim, tracer = traced_run(main, capacity=10)
+    assert tracer.count() <= 10
+    assert tracer.dropped > 0
+
+
+def test_filter_by_pid_and_dump():
+    def child(api, arg):
+        yield from api.getpid()
+        return 0
+
+    def main(api, out):
+        pid = yield from api.fork(child)
+        out["child"] = pid
+        yield from api.wait()
+        return 0
+
+    out, sim, tracer = traced_run(main)
+    child_events = list(tracer.events(pid=out["child"]))
+    assert child_events, "child must have traced events"
+    text = tracer.dump(limit=5)
+    assert text.count("\n") <= 4
+
+
+def test_tracer_disable_and_clear():
+    def main(api, out):
+        yield from api.getpid()
+        return 0
+
+    out, sim, tracer = traced_run(main)
+    assert tracer.count() > 0
+    tracer.clear()
+    assert tracer.count() == 0
+    tracer.enabled = False
+    tracer.record("syscall", 1, "x")
+    assert tracer.count() == 0

@@ -1,0 +1,121 @@
+"""User-level rwlock and counting semaphore on shared memory."""
+
+import pytest
+
+from repro import PR_SALL, System, status_code
+from repro.runtime import URWLock, USema
+from tests.conftest import run_program
+
+
+def test_rwlock_readers_count_and_drain():
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        lock = URWLock(base)
+        yield from lock.acquire_read(api)
+        yield from lock.acquire_read(api)
+        out["two"] = yield from lock.readers(api)
+        yield from lock.release_read(api)
+        yield from lock.release_read(api)
+        out["zero"] = yield from lock.readers(api)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["two"] == 2
+    assert out["zero"] == 0
+
+
+def test_rwlock_writer_excludes_writers_and_readers():
+    """Concurrent increments under the write lock must not be lost, and
+    readers must never observe a torn intermediate state."""
+
+    def writer(api, base):
+        lock = URWLock(base)
+        for _ in range(20):
+            yield from lock.acquire_write(api)
+            a = yield from api.load_word(base + 8)
+            yield from api.compute(30)
+            yield from api.store_word(base + 8, a + 1)
+            yield from api.store_word(base + 12, a + 1)  # mirror word
+            yield from lock.release_write(api)
+        return 0
+
+    def reader(api, base):
+        lock = URWLock(base)
+        bad = 0
+        for _ in range(30):
+            yield from lock.acquire_read(api)
+            a = yield from api.load_word(base + 8)
+            yield from api.compute(10)
+            b = yield from api.load_word(base + 12)
+            if a != b:
+                bad += 1
+            yield from lock.release_read(api)
+        return bad
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        pids = []
+        for _ in range(2):
+            pids.append((yield from api.sproc(writer, PR_SALL, base)))
+        for _ in range(2):
+            pids.append((yield from api.sproc(reader, PR_SALL, base)))
+        torn = 0
+        for _ in pids:
+            _, status = yield from api.wait()
+            torn += status_code(status)
+        out["count"] = yield from api.load_word(base + 8)
+        out["torn"] = torn
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["count"] == 40, "lost a write-locked increment"
+    assert out["torn"] == 0, "reader saw a torn update"
+
+
+def test_usema_bounds_concurrency():
+    """A 2-permit semaphore must never admit 3 workers at once."""
+
+    def worker(api, base):
+        sema = USema(base)
+        overlap_max = 0
+        for _ in range(10):
+            yield from sema.down(api)
+            inside = yield from api.fetch_add(base + 8, 1)
+            yield from api.compute(200)
+            overlap_max = max(overlap_max, inside + 1)
+            yield from api.fetch_add(base + 8, 0xFFFFFFFF)  # -1 mod 2^32
+            yield from sema.up(api)
+        return overlap_max
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        sema = USema(base)
+        yield from sema.init(api, 2)
+        maxima = []
+        for _ in range(4):
+            yield from api.sproc(worker, PR_SALL, base)
+        for _ in range(4):
+            _, status = yield from api.wait()
+            maxima.append(status_code(status))
+        out["max_inside"] = max(maxima)
+        out["value"] = yield from sema.value(api)
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["max_inside"] <= 2
+    assert out["value"] == 2
+
+
+def test_usema_try_down():
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        sema = USema(base)
+        yield from sema.init(api, 1)
+        out["first"] = yield from sema.try_down(api)
+        out["second"] = yield from sema.try_down(api)
+        yield from sema.up(api)
+        out["third"] = yield from sema.try_down(api)
+        return 0
+
+    out, _ = run_program(main)
+    assert out["first"] and not out["second"] and out["third"]
