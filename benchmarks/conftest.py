@@ -3,7 +3,8 @@
 Each bench runs one experiment exactly once under pytest-benchmark
 (the simulation is deterministic, so repeated rounds only measure the
 host, not the system under test), checks the paper-shape claims, and
-saves the rendered table under benchmarks/results/.
+saves the rendered table under benchmarks/results/ plus a machine-
+readable BENCH_<eid>.json with the headline rows and counter snapshots.
 """
 
 import pytest
@@ -14,5 +15,6 @@ def drive(benchmark, run_experiment, **kwargs):
         lambda: run_experiment(**kwargs), rounds=1, iterations=1
     )
     result.save()
+    result.save_json()
     result.check()
     return result

@@ -70,8 +70,12 @@ def main(api, ctx):
         pids.append(pid)
     report.append(("members", (yield from api.prctl(PR_GETNSHARE))))
 
-    for _ in pids:
+    for index, _ in enumerate(pids):
         yield from api.wait()
+        if index == len(pids) - 2:
+            # Host-side system snapshot while the group is still alive
+            # (free: observability costs no simulated cycles).
+            ctx["snapshot"] = ctx["sim"].report()
 
     total = yield from api.load_word(counter)
     report.append(("counter", total))
@@ -81,7 +85,8 @@ def main(api, ctx):
 if __name__ == "__main__":
     report = []
     sim = System(ncpus=4)
-    sim.spawn(main, {"report": report})
+    ctx = {"report": report, "sim": sim}
+    sim.spawn(main, ctx)
     cycles = sim.run()
 
     print("quickstart: share groups on a %d-CPU simulated machine" % 4)
@@ -95,3 +100,5 @@ if __name__ == "__main__":
     ))
     assert dict(report)["counter"] == 400, "lost updates?!"
     print("  OK: 4 members x 100 atomic increments == 400")
+    print()
+    print(ctx["snapshot"])

@@ -328,13 +328,17 @@ def run_e04(npages: int = 48, nprocs_list=(1, 2, 4, 8)):
         ):
             out = {}
             kwargs = {"vm_lock_factory": factory} if factory else {}
-            _run(
+            sim = _run(
                 _e04_main,
                 {"out": out, "nprocs": nprocs, "npages": npages},
                 ncpus=8,
                 **kwargs,
             )
             row[label] = out["cycles"]
+            result.counters["%s_n%d" % (label, nprocs)] = {
+                "kernel": sim.kstat.scope("kernel", 0),
+                "locks": sim.lockstats.snapshot(),
+            }
         measured[nprocs] = row
         result.add_row(
             faulting_members=nprocs,
@@ -406,6 +410,13 @@ def run_e05(ops: int = 10, ncpus_list=(1, 2, 4, 8)):
         out = {}
         sim = _run(_e05_main, {"out": out, "ops": ops}, ncpus=ncpus)
         measured[ncpus] = out
+        result.counters["ncpus%d" % ncpus] = {
+            "kernel": sim.kstat.scope("kernel", 0),
+            "cpu": {
+                idx: sim.kstat.scope("cpu", idx)
+                for idx in sim.kstat.scopes("cpu")
+            },
+        }
         result.add_row(
             ncpus=ncpus,
             mmap_cycles=int(out["mmap"]),

@@ -13,6 +13,7 @@ Rendered tables are printed and also written under
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Optional, Sequence
 
@@ -39,6 +40,7 @@ class ExperimentResult:
         self.rows: List[Dict] = []
         self.claims: List[Claim] = []
         self.notes: List[str] = []
+        self.counters: Dict = {}  #: optional kstat snapshot(s), see save_json
 
     # ------------------------------------------------------------------
 
@@ -112,6 +114,37 @@ class ExperimentResult:
         path = os.path.join(directory, "%s.txt" % self.eid.lower())
         with open(path, "w") as handle:
             handle.write(text)
+        return path
+
+    def to_json_dict(self) -> Dict:
+        """The experiment as one JSON-serialisable dict."""
+        return {
+            "experiment": self.eid,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "claims": [
+                {
+                    "description": claim.description,
+                    "holds": claim.holds,
+                    "detail": claim.detail,
+                }
+                for claim in self.claims
+            ],
+            "notes": self.notes,
+            "counters": self.counters,
+        }
+
+    def save_json(self, directory: Optional[str] = None) -> str:
+        """Persist headline numbers + counters as BENCH_<eid>.json."""
+        directory = directory or os.environ.get(
+            "REPRO_RESULTS_DIR", _default_results_dir()
+        )
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, "BENCH_%s.json" % self.eid.upper())
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
 

@@ -103,6 +103,8 @@ class IPCSyscalls:
             if semset.can_apply(ops):
                 semset.apply(ops)
                 semset.broadcast()
+                self.pcount(proc, "semops")
+                self.trace("ipc", proc.pid, "semop id=%d" % semid)
                 return 0
             semset.waiters += 1
             ok = yield from semset.change.p(proc, interruptible=True)
@@ -133,6 +135,8 @@ class IPCSyscalls:
                 raise SysError(EINTR)
         yield kdelay(self.costs.copyio_per_word * _words(len(payload)))
         queue.enqueue(mtype, bytes(payload))
+        self.pcount(proc, "msgs_sent")
+        self.trace("ipc", proc.pid, "msgsnd id=%d n=%d" % (msqid, len(payload)))
         return 0
 
     def sys_msgrcv(self, proc, msqid: int, mtype: int = 0, max_bytes: int = 1 << 20):

@@ -63,11 +63,10 @@ class FaultMixin:
                 if kind is Fault.ZERO or kind is Fault.COW:
                     proc.faults += 1
                     self.stats["faults"] += 1
-                    if self.tracer is not None:
-                        self.tracer.record(
-                            "fault", proc.pid,
-                            "%s @%#x" % (kind.value, vaddr),
-                        )
+                    self.pcount(proc, "fault." + kind.value)
+                    self.trace(
+                        "fault", proc.pid, "%s @%#x" % (kind.value, vaddr)
+                    )
                     fill = (
                         self.costs.page_zero if kind is Fault.ZERO
                         else self.costs.page_copy
@@ -79,6 +78,7 @@ class FaultMixin:
                         mode, locked = locked, "none"
                         yield from self._out_of_memory(proc, user, mode)
                         continue
+                    self.pcount(proc, "pages_touched")
                     writable = proc.vm.writable_now(res.pregion, res.page_index)
                     tlb.insert(asid, vpn, frame.pfn, writable)
                     return frame
@@ -94,6 +94,8 @@ class FaultMixin:
                     proc.faults += 1
                     self.stats["faults"] += 1
                     self.stats["stack_grows"] += 1
+                    self.pcount(proc, "fault.grow")
+                    self.trace("fault", proc.pid, "grow @%#x" % vaddr)
                     yield kdelay(self.costs.fault_entry + self.costs.page_zero)
                     try:
                         frame = proc.vm.materialize(res, vaddr, write)
@@ -101,6 +103,7 @@ class FaultMixin:
                         mode, locked = locked, "none"
                         yield from self._out_of_memory(proc, user, mode)
                         continue
+                    self.pcount(proc, "pages_touched")
                     tlb.insert(asid, vpn, frame.pfn, True)
                     return frame
                 # SEGV
@@ -112,6 +115,8 @@ class FaultMixin:
                     yield from vmshare.update_release(proc)
                 locked = "none"
                 self.stats["segv"] += 1
+                self.pcount(proc, "fault.segv")
+                self.trace("fault", proc.pid, "segv @%#x" % vaddr)
                 self.psignal(proc, SIGSEGV)
                 yield from self.deliver_pending(proc)
                 # A handler survived and (maybe) repaired the mapping:

@@ -234,6 +234,8 @@ class FileSyscalls:
         file.offset += len(data)
         yield kdelay(self.costs.copyio_per_word * _words(len(data)))
         self.stats["bytes_read"] += len(data)
+        self.pcount(proc, "bytes_read", len(data))
+        self.trace("io", proc.pid, "read fd=%d n=%d" % (fd, len(data)))
         return data
 
     def sys_write(self, proc, fd: int, payload: bytes):
@@ -267,6 +269,8 @@ class FileSyscalls:
         count = inode.write_at(file.offset, payload)
         file.offset += count
         self.stats["bytes_written"] += count
+        self.pcount(proc, "bytes_written", count)
+        self.trace("io", proc.pid, "write fd=%d n=%d" % (fd, count))
         return count
 
     def sys_read_v(self, proc, fd: int, vaddr: int, nbytes: int):

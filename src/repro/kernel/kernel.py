@@ -99,8 +99,10 @@ class Kernel(
         self.vm_lock_factory = vm_lock_factory
 
         self.tracer = None  #: optional repro.sim.trace.Tracer
+        self.kstat = machine.kstat  #: the machine's kstat counter registry
         self.fs = FileSystem()
         self.sched = Scheduler(machine)
+        self.sched.kernel = self
         self.proc_table = ProcTable()
         self.programs: Dict[str, ProgramImage] = {}
         self.live_procs = 0
@@ -133,6 +135,26 @@ class Kernel(
         for name, device in (("null", NullDevice()), ("zero", ZeroDevice())):
             node = self.fs.create(dev_dir, name, InodeType.CHR, 0o666)
             node.device = device
+
+    # ------------------------------------------------------------------
+    # observability
+
+    def trace(self, kind: str, pid: int, detail: str = "", ph: str = "i",
+              cpu=None) -> None:
+        """Record a trace event; a no-op when no tracer is attached.
+
+        The single hook-point helper: call sites stay one-liners and
+        never test ``self.tracer`` themselves.
+        """
+        if self.tracer is not None:
+            self.tracer.record(kind, pid, detail, ph=ph, cpu=cpu)
+
+    def pcount(self, proc, name: str, n: int = 1) -> None:
+        """Bump a per-process kstat counter (and the group's, if any)."""
+        kstat = self.kstat
+        kstat.add("proc", proc.pid, name, n)
+        if proc.shaddr is not None:
+            kstat.add("group", getattr(proc.shaddr, "sgid", 0), name, n)
 
     # ------------------------------------------------------------------
     # programs and boot
@@ -243,10 +265,10 @@ class Kernel(
         """
         proc.syscalls += 1
         self.stats["syscalls"] += 1
-        if self.tracer is not None:
-            self.tracer.record(
-                "syscall", proc.pid, getattr(handler, "__name__", "?")
-            )
+        name = getattr(handler, "__name__", "?")
+        self.kstat.add("kernel", 0, "syscalls")
+        self.pcount(proc, "syscall." + name)
+        self.trace("syscall", proc.pid, name, ph="B")
         proc.in_kernel = True
         yield kdelay(self.costs.syscall_entry)
         yield from self.entry_checks(proc)
@@ -255,9 +277,11 @@ class Kernel(
         except SysError as err:
             self.seterrno(proc, err.errno)
             self.stats["syscall_errors"] += 1
+            self.pcount(proc, "syscall_errors")
             ret = -1
         finally:
             proc.in_kernel = False
+            self.trace("syscall", proc.pid, name, ph="E")
         yield kdelay(self.costs.syscall_exit)
         if proc.pending:
             yield from self.deliver_pending(proc)
@@ -278,6 +302,7 @@ class Kernel(
             yield kdelay(self.costs.flag_batch_test)
             if proc.p_flag & ALL_SYNC:
                 self.stats["sync_entries"] += 1
+                self.pcount(proc, "sync_entries")
                 yield from resources.sync_on_entry(self, proc)
         else:
             for bit in SYNC_BIT_NAMES:
@@ -326,8 +351,8 @@ class Kernel(
             return
         proc.pending.post(sig)
         self.stats["signals_posted"] += 1
-        if self.tracer is not None:
-            self.tracer.record("signal", proc.pid, "sig=%d posted" % sig)
+        self.pcount(proc, "signals_posted")
+        self.trace("signal", proc.pid, "sig=%d posted" % sig)
         if (
             proc.state is Proc.SLEEPING
             and proc.sleep_interruptible

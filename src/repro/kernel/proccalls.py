@@ -107,8 +107,7 @@ class ProcSyscalls:
         child.parent = proc
         proc.children.append(child)
         self.stats["forks"] += 1
-        if self.tracer is not None:
-            self.tracer.record("fork", proc.pid, "child=%d" % child.pid)
+        self.trace("fork", proc.pid, "child=%d" % child.pid)
         self._start_child(child, entry, arg)
         return child.pid
 
@@ -149,11 +148,7 @@ class ProcSyscalls:
         child.p_shmask = mask
         shaddr.add_member(child)
         self.stats["sprocs"] += 1
-        if self.tracer is not None:
-            self.tracer.record(
-                "sproc", proc.pid,
-                "child=%d mask=%#x" % (child.pid, mask),
-            )
+        self.trace("sproc", proc.pid, "child=%d mask=%#x" % (child.pid, mask))
         self._start_child(child, entry, arg)
         return child.pid
 
@@ -238,8 +233,7 @@ class ProcSyscalls:
         proc.exit_status = status
         proc.state = proc.ZOMBIE
         self.stats["exits"] += 1
-        if self.tracer is not None:
-            self.tracer.record("exit", proc.pid, "status=%#x" % status)
+        self.trace("exit", proc.pid, "status=%#x" % status)
         parent = proc.parent
         if parent is not None and parent.alive():
             self.psignal(parent, SIGCHLD)

@@ -27,6 +27,7 @@ class Scheduler:
 
     def __init__(self, machine):
         self.machine = machine
+        self.kernel = None  #: set by the kernel at boot (trace hooks)
         self._queue: List[Proc] = []  #: FIFO within priority
         self._idle = list(machine.cpus)  #: CPUs with nothing to run
         self.wakeups = 0
@@ -47,6 +48,9 @@ class Scheduler:
         proc.state = ProcState.RUNNABLE
         self._queue.append(proc)
         self.wakeups += 1
+        self.machine.kstat.add("kernel", 0, "wakeups")
+        if self.kernel is not None:
+            self.kernel.trace("wakeup", proc.pid)
         self._dispatch_idle()
         if proc.state is ProcState.RUNNABLE:
             self._request_preemption(proc)

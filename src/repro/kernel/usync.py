@@ -63,6 +63,8 @@ class UsyncSyscalls:
         channel = self._usync_channel(proc.vm.asid, vaddr)
         channel.waiters += 1
         self.stats["uwaits"] += 1
+        self.pcount(proc, "uwaits")
+        self.trace("uwait", proc.pid, "@%#x" % vaddr)
         ok = yield from channel.sema.p(proc, interruptible=True)
         if not ok:
             channel.waiters = max(channel.waiters - 1, 0)
@@ -81,4 +83,7 @@ class UsyncSyscalls:
             channel.sema.v()
         channel.waiters -= woken
         self.stats["uwakes"] += woken
+        if woken:
+            self.pcount(proc, "uwakes", woken)
+            self.trace("uwake", proc.pid, "@%#x woke=%d" % (vaddr, woken))
         return woken

@@ -1,0 +1,159 @@
+"""kstat-style counter registry: cheap named metrics per kernel entity.
+
+Modeled on the Solaris/IRIX ``kstat`` facility: every counter lives
+under a *scope* — ``("kernel", 0)``, ``("cpu", idx)``, ``("proc", pid)``
+or ``("group", sgid)`` — and is created on first touch, so hook points
+stay one-liners and cost nothing when the registry is disabled.
+
+Counters are host-side instrumentation: they never charge simulated
+cycles, so collection cannot perturb a measurement.  Because the
+simulation itself is deterministic, counter values are too — identical
+runs produce identical snapshots (``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class Histogram:
+    """A power-of-two-bucketed value distribution (latency style).
+
+    ``add(value)`` drops the value into bucket ``value.bit_length()``,
+    i.e. bucket *b* holds values in ``[2**(b-1), 2**b)``.
+    """
+
+    __slots__ = ("count", "total", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0
+        self.max = 0
+        self.buckets: Dict[int, int] = {}
+
+    def add(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+        bucket = int(value).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Histogram n=%d mean=%.1f max=%d>" % (self.count, self.mean, self.max)
+
+
+#: the scope kinds the kernel registers under
+SCOPE_KINDS = ("kernel", "cpu", "proc", "group")
+
+
+class KstatRegistry:
+    """Named counters, gauges and histograms, scoped per kernel entity.
+
+    * counters — monotonically increasing ints (``add``);
+    * gauges — last-write-wins values (``set``);
+    * histograms — value distributions (``observe``).
+
+    All three share a namespace within a scope; ``snapshot()`` returns
+    one nested plain-dict view of everything, suitable for JSON.
+    """
+
+    __slots__ = ("enabled", "_values", "_hists")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        #: (kind, ident) -> {name: int}
+        self._values: Dict[Tuple[str, int], Dict[str, int]] = {}
+        #: (kind, ident) -> {name: Histogram}
+        self._hists: Dict[Tuple[str, int], Dict[str, Histogram]] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def add(self, kind: str, ident: int, name: str, n: int = 1) -> None:
+        """Bump counter ``name`` in scope ``(kind, ident)`` by ``n``."""
+        if not self.enabled:
+            return
+        scope = self._values.get((kind, ident))
+        if scope is None:
+            scope = self._values[(kind, ident)] = {}
+        scope[name] = scope.get(name, 0) + n
+
+    def set(self, kind: str, ident: int, name: str, value: int) -> None:
+        """Set gauge ``name`` (last write wins)."""
+        if not self.enabled:
+            return
+        scope = self._values.get((kind, ident))
+        if scope is None:
+            scope = self._values[(kind, ident)] = {}
+        scope[name] = value
+
+    def observe(self, kind: str, ident: int, name: str, value: int) -> None:
+        """Record ``value`` into histogram ``name``."""
+        if not self.enabled:
+            return
+        scope = self._hists.get((kind, ident))
+        if scope is None:
+            scope = self._hists[(kind, ident)] = {}
+        hist = scope.get(name)
+        if hist is None:
+            hist = scope[name] = Histogram()
+        hist.add(value)
+
+    # ------------------------------------------------------------------
+    # reading
+
+    def get(self, kind: str, ident: int, name: str, default: int = 0) -> int:
+        return self._values.get((kind, ident), {}).get(name, default)
+
+    def hist(self, kind: str, ident: int, name: str):
+        return self._hists.get((kind, ident), {}).get(name)
+
+    def scope(self, kind: str, ident: int) -> Dict[str, int]:
+        """A copy of one scope's counter/gauge values."""
+        return dict(self._values.get((kind, ident), {}))
+
+    def scopes(self, kind: str):
+        """Sorted idents that have recorded anything under ``kind``."""
+        idents = {key[1] for key in self._values if key[0] == kind}
+        idents |= {key[1] for key in self._hists if key[0] == kind}
+        return sorted(idents)
+
+    def snapshot(self) -> dict:
+        """Everything, as nested plain dicts: ``{kind: {ident: {name: value}}}``.
+
+        Histograms appear under their name as ``as_dict()`` payloads.
+        """
+        out: dict = {}
+        for (kind, ident), values in self._values.items():
+            out.setdefault(kind, {}).setdefault(ident, {}).update(values)
+        for (kind, ident), hists in self._hists.items():
+            bucket = out.setdefault(kind, {}).setdefault(ident, {})
+            for name, hist in hists.items():
+                bucket[name] = hist.as_dict()
+        return out
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero everything (registrations are not remembered)."""
+        self._values.clear()
+        self._hists.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<KstatRegistry scopes=%d enabled=%s>" % (
+            len(self._values), self.enabled,
+        )

@@ -17,9 +17,14 @@ _WRITER = 0xFFFFFFFF
 class URWLock:
     """Reader-preference user rwlock (mirrors the paper's kernel lock)."""
 
-    def __init__(self, vaddr: int, spins_before_yield: int = 64):
+    def __init__(self, vaddr: int, spins_before_yield: int = 64, name=None):
         self.vaddr = vaddr
         self.spins_before_yield = spins_before_yield
+        self.name = name if name is not None else "urw@%#x" % vaddr
+        self._write_since = 0
+
+    def _stats(self, api):
+        return api.kernel.machine.lockstats.get(self.name)
 
     def _backoff(self, api, polls: int):
         if polls and polls % self.spins_before_yield == 0:
@@ -27,12 +32,16 @@ class URWLock:
 
     def acquire_read(self, api):
         """Generator: join the readers (spins out any writer)."""
+        entered = api.now
         polls = 0
         while True:
             value = yield from api.load_word(self.vaddr)
             if value != _WRITER:
                 observed = yield from api.cas(self.vaddr, value, value + 1)
                 if observed == value:
+                    self._stats(api).record_acquire(
+                        api.now - entered, polls > 0
+                    )
                     return
             polls += 1
             yield from self._backoff(api, polls)
@@ -47,16 +56,20 @@ class URWLock:
 
     def acquire_write(self, api):
         """Generator: wait until free, then take exclusively."""
+        entered = api.now
         polls = 0
         while True:
             observed = yield from api.cas(self.vaddr, 0, _WRITER)
             if observed == 0:
+                self._stats(api).record_acquire(api.now - entered, polls > 0)
+                self._write_since = api.now
                 return
             polls += 1
             yield from self._backoff(api, polls)
 
     def release_write(self, api):
         """Generator: drop exclusivity."""
+        self._stats(api).record_hold(api.now - self._write_since)
         yield from api.store_word(self.vaddr, 0)
 
     def readers(self, api):

@@ -63,6 +63,7 @@ class SharedAddressBlock:
 
         # --- extensions --------------------------------------------------
         self.gang = False  #: section 8 gang-scheduling hint
+        self.sgid = 0  #: sequential share-group id (observability)
 
         # --- statistics --------------------------------------------------
         self.updates = {"fds": 0, "dir": 0, "id": 0, "umask": 0, "ulimit": 0}

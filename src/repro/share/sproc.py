@@ -58,6 +58,8 @@ def ensure_group(kernel, proc) -> SharedAddressBlock:
         cpu.tlb.flush_asid(old_asid)
     shaddr.seed_from(proc.uarea)
     kernel.stats["groups_created"] += 1
+    shaddr.sgid = kernel.stats["groups_created"]
+    kernel.kstat.add("kernel", 0, "groups_created")
     return shaddr
 
 

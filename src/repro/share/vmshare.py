@@ -52,6 +52,15 @@ def shootdown(kernel, proc):
     """
     cost = kernel.machine.tlb_shootdown(proc.vm.asid)
     kernel.stats["shootdowns"] += 1
+    kernel.pcount(proc, "shootdowns_sent")
+    kernel.trace("shootdown", proc.pid, "asid=%d" % proc.vm.asid)
+    kstat = kernel.kstat
+    if proc.cpu is not None:
+        kstat.add("cpu", proc.cpu.idx, "shootdown_ipis_sent",
+                  kernel.machine.ncpus - 1)
+    for cpu in kernel.machine.cpus:
+        if proc.cpu is None or cpu.idx != proc.cpu.idx:
+            kstat.add("cpu", cpu.idx, "shootdown_ipis_rcvd")
     yield kdelay(cost)
 
 

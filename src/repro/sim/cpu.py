@@ -65,15 +65,20 @@ class CPU:
         self.dispatches += 1
         cost = self.costs.dispatch
         asid = proc.asid()
+        kstat = self.machine.kstat
+        kstat.add("cpu", self.idx, "dispatches")
         if asid != self._last_asid:
             cost += self.costs.context_switch
             self.switches += 1
+            kstat.add("cpu", self.idx, "context_switches")
         else:
             cost += self.costs.context_switch_same_as
+            kstat.add("cpu", self.idx, "switches_same_as")
         self._last_asid = asid
         self._charge(cost)
-        if self.kernel is not None and getattr(self.kernel, "tracer", None) is not None:
-            self.kernel.tracer.record("dispatch", proc.pid, "cpu%d" % self.idx)
+        if self.kernel is not None:
+            self.kernel.trace("dispatch", proc.pid, "cpu%d" % self.idx,
+                              ph="B", cpu=self.idx)
         self.engine.schedule(cost, self._dispatch_boundary)
 
     def _dispatch_boundary(self) -> None:
@@ -211,6 +216,10 @@ class CPU:
         proc.need_resched = False
         self.current = None
         proc.cpu = None
+        self.machine.kstat.add("cpu", self.idx, "preempt_offs")
+        if self.kernel is not None:
+            self.kernel.trace("dispatch", proc.pid, "cpu%d" % self.idx,
+                              ph="E", cpu=self.idx)
         self.dispatcher.requeue(proc)
         self.dispatcher.cpu_idle(self)
 
@@ -218,6 +227,9 @@ class CPU:
         """The process blocked; free the CPU."""
         self.current = None
         proc.cpu = None
+        if self.kernel is not None:
+            self.kernel.trace("dispatch", proc.pid, "cpu%d" % self.idx,
+                              ph="E", cpu=self.idx)
         self.dispatcher.cpu_idle(self)
 
     # ------------------------------------------------------------------

@@ -11,6 +11,8 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.mem.frames import FrameAllocator, PAGE_SIZE
+from repro.obs.kstat import KstatRegistry
+from repro.obs.lockstat import LockStatRegistry
 from repro.sim.costs import CostModel, default_costs
 from repro.sim.cpu import CPU
 from repro.sim.engine import Engine
@@ -25,6 +27,7 @@ class Machine:
         memory_bytes: int = 32 * 1024 * 1024,
         costs: Optional[CostModel] = None,
         tlb_capacity: int = 64,
+        metrics_enabled: bool = True,
     ):
         if ncpus <= 0:
             raise ValueError("need at least one CPU")
@@ -32,6 +35,11 @@ class Machine:
         self.costs = costs if costs is not None else default_costs()
         self.costs.validate()
         self.frames = FrameAllocator(memory_bytes // PAGE_SIZE)
+        # Observability registries live on the machine so every lock and
+        # CPU can reach them without a kernel reference; collection is
+        # host-side and charges no simulated cycles.
+        self.kstat = KstatRegistry(enabled=metrics_enabled)
+        self.lockstats = LockStatRegistry(enabled=metrics_enabled)
         self.cpus: List[CPU] = [CPU(i, self, tlb_capacity) for i in range(ncpus)]
         self._next_asid = 0
         self.shootdowns = 0

@@ -43,6 +43,7 @@ class Semaphore:
         self._waiters: Deque = deque()
         self.sleeps = 0
         self.wakeups = 0
+        self._stats = machine.lockstats.get(name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Semaphore %s v=%d w=%d>" % (self.name, self._value, len(self._waiters))
@@ -58,6 +59,7 @@ class Semaphore:
         yield kdelay(self.costs.sema_op)
         if self._value > 0:
             self._value -= 1
+            self._stats.record_acquire(0, False)
             return True
         if interruptible and getattr(proc, "pending", None):
             # A signal arrived on our way in (classic sleep()-with-PCATCH
@@ -68,11 +70,15 @@ class Semaphore:
         proc.sleep_interruptible = interruptible
         proc.state = proc.SLEEPING
         self.sleeps += 1
+        slept_from = self.machine.engine.now
         result = yield Block("P(%s)" % self.name)
         proc.sleeping_on = None
         proc.sleep_interruptible = False
         if result is INTERRUPTED:
             return False
+        self._stats.record_acquire(
+            self.machine.engine.now - slept_from, True
+        )
         return True
 
     def cp(self) -> bool:

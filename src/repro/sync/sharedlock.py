@@ -34,6 +34,10 @@ class SharedReadLock:
         self.update_acquires = 0
         self.read_blocks = 0
         self.update_blocks = 0
+        self._rd_stats = machine.lockstats.get(name + ".read")
+        self._upd_stats = machine.lockstats.get(name + ".update")
+        self._rd_since = {}  #: id(proc) -> cycle the read side was granted
+        self._upd_since = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<SharedReadLock %s acccnt=%d wait=%d>" % (
@@ -45,15 +49,21 @@ class SharedReadLock:
 
     def acquire_read(self, proc):
         """Generator: join the scanners, sleeping out any update."""
+        entered = self.machine.engine.now
+        blocked = False
         yield from self._acclck.acquire(proc)
         while self._acccnt < 0:
             self._waitcnt += 1
             self.read_blocks += 1
+            blocked = True
             self._acclck.release()
             yield from self._updwait.p(proc)
             yield from self._acclck.acquire(proc)
         self._acccnt += 1
         self.read_acquires += 1
+        now = self.machine.engine.now
+        self._rd_stats.record_acquire(now - entered, blocked)
+        self._rd_since[id(proc)] = now
         self._acclck.release()
 
     def release_read(self, proc):
@@ -63,6 +73,9 @@ class SharedReadLock:
             self._acclck.release()
             raise SimulationError("release_read with no readers on %s" % self.name)
         self._acccnt -= 1
+        since = self._rd_since.pop(id(proc), None)
+        if since is not None:
+            self._rd_stats.record_hold(self.machine.engine.now - since)
         if self._acccnt == 0:
             self._broadcast()
         self._acclck.release()
@@ -72,15 +85,21 @@ class SharedReadLock:
 
     def acquire_update(self, proc):
         """Generator: wait for all scanners to drain, then hold exclusively."""
+        entered = self.machine.engine.now
+        blocked = False
         yield from self._acclck.acquire(proc)
         while self._acccnt != 0:
             self._waitcnt += 1
             self.update_blocks += 1
+            blocked = True
             self._acclck.release()
             yield from self._updwait.p(proc)
             yield from self._acclck.acquire(proc)
         self._acccnt = -1
         self.update_acquires += 1
+        now = self.machine.engine.now
+        self._upd_stats.record_acquire(now - entered, blocked)
+        self._upd_since = now
         self._acclck.release()
 
     def release_update(self, proc):
@@ -90,6 +109,7 @@ class SharedReadLock:
             self._acclck.release()
             raise SimulationError("release_update without update on %s" % self.name)
         self._acccnt = 0
+        self._upd_stats.record_hold(self.machine.engine.now - self._upd_since)
         self._broadcast()
         self._acclck.release()
 

@@ -24,6 +24,8 @@ class SpinLock:
         self.owner = None
         self.acquisitions = 0
         self.contended_polls = 0
+        self._stats = machine.lockstats.get(name)
+        self._acquired_at = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "held" if self._held else "free"
@@ -32,12 +34,19 @@ class SpinLock:
     def acquire(self, proc=None):
         """Generator: spin until the lock is ours."""
         yield kdelay(self.costs.spin_acquire)
+        spun_from = self.machine.engine.now
+        polls = 0
         while self._held:
             self.contended_polls += 1
+            polls += 1
             yield kdelay(self.costs.spin_poll)
         self._held = True
         self.owner = proc
         self.acquisitions += 1
+        self._acquired_at = self.machine.engine.now
+        self._stats.record_acquire(
+            self.machine.engine.now - spun_from, polls > 0
+        )
 
     def try_acquire(self, proc=None) -> bool:
         """Non-blocking attempt (no cycles charged; callers charge)."""
@@ -46,6 +55,8 @@ class SpinLock:
         self._held = True
         self.owner = proc
         self.acquisitions += 1
+        self._acquired_at = self.machine.engine.now
+        self._stats.record_acquire(0, False)
         return True
 
     def release(self) -> None:
@@ -53,6 +64,7 @@ class SpinLock:
             raise SimulationError("release of free spinlock %s" % self.name)
         self._held = False
         self.owner = None
+        self._stats.record_hold(self.machine.engine.now - self._acquired_at)
 
     @property
     def held(self) -> bool:

@@ -46,12 +46,14 @@ class System:
         share_groups_enabled: bool = True,
         batched_flag_test: bool = True,
         vm_lock_factory=SharedReadLock,
+        metrics_enabled: bool = True,
     ):
         self.machine = Machine(
             ncpus=ncpus,
             memory_bytes=memory_mb * 1024 * 1024,
             costs=costs,
             tlb_capacity=tlb_capacity,
+            metrics_enabled=metrics_enabled,
         )
         self.kernel = Kernel(
             self.machine,
@@ -124,6 +126,36 @@ class System:
     @property
     def stats(self):
         return self.kernel.stats
+
+    @property
+    def kstat(self):
+        """The machine's kstat counter registry."""
+        return self.machine.kstat
+
+    @property
+    def lockstats(self):
+        """The machine's lock-contention profile registry."""
+        return self.machine.lockstats
+
+    def metrics(self) -> dict:
+        """A plain-dict snapshot of every counter, gauge and histogram.
+
+        Shape: ``{"cycles", "kstat": {kind: {ident: {name: value}}},
+        "locks": {name: {...}}, "stats": {...}}`` — everything is
+        JSON-serialisable and detached from live state.
+        """
+        return {
+            "cycles": self.engine.now,
+            "kstat": self.machine.kstat.snapshot(),
+            "locks": self.machine.lockstats.snapshot(),
+            "stats": dict(self.kernel.stats),
+        }
+
+    def report(self, top_locks: int = 10) -> str:
+        """A /proc-style text report of the whole system (see obs.procfs)."""
+        from repro.obs.procfs import render_system
+
+        return render_system(self, top_locks=top_locks)
 
     def proc(self, pid: int) -> Optional[Proc]:
         return self.kernel.proc_table.get(pid)
