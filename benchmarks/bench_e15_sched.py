@@ -1,0 +1,10 @@
+"""Benchmark E15: per-CPU run queues vs the global run queue."""
+
+from repro.bench.experiments import run_e15
+
+from conftest import drive
+
+
+def test_e15_sched(benchmark):
+    """per-CPU run queues with affinity and stealing vs one global queue"""
+    drive(benchmark, run_e15)

@@ -60,14 +60,23 @@ class FDTable:
 
     def dup(self, fd: int) -> int:
         file = self.get(fd)
-        newfd = self.alloc(file.hold())
-        return newfd
+        file.hold()
+        try:
+            return self.alloc(file)
+        except SysError:
+            file.release()
+            raise
 
     def dup2(self, fd: int, newfd: int) -> int:
         file = self.get(fd)
         if newfd == fd:
             return fd
-        self.install_at(newfd, file.hold())
+        file.hold()
+        try:
+            self.install_at(newfd, file)
+        except SysError:
+            file.release()
+            raise
         return newfd
 
     # ------------------------------------------------------------------

@@ -9,12 +9,13 @@ from repro.kernel.proccalls import (
     status_exited,
     status_signal,
 )
-from repro.kernel.sched import Scheduler
+from repro.kernel.sched import GlobalScheduler, Scheduler, make_scheduler
 from repro.kernel.syscalls import UserAPI
 from repro.kernel.uarea import UArea
 
 __all__ = [
     "ERRNO_OFFSET",
+    "GlobalScheduler",
     "Kernel",
     "PRI_USER",
     "Proc",
@@ -25,6 +26,7 @@ __all__ = [
     "UArea",
     "UserAPI",
     "make_exit_status",
+    "make_scheduler",
     "make_signal_status",
     "status_code",
     "status_exited",

@@ -31,7 +31,7 @@ from repro.kernel.filecalls import FileSyscalls
 from repro.kernel.flags import ALL_SYNC, SYNC_BIT_NAMES
 from repro.kernel.proc import Proc, ProcTable
 from repro.kernel.proccalls import ProcSyscalls, make_exit_status, make_signal_status
-from repro.kernel.sched import Scheduler
+from repro.kernel.sched import make_scheduler
 from repro.kernel.signals import (
     Action,
     SIG_DFL,
@@ -90,6 +90,7 @@ class Kernel(
         share_groups_enabled: bool = True,
         batched_flag_test: bool = True,
         vm_lock_factory=SharedReadLock,
+        scheduler="percpu",
     ):
         self.machine = machine
         self.engine = machine.engine
@@ -101,7 +102,7 @@ class Kernel(
         self.tracer = None  #: optional repro.sim.trace.Tracer
         self.kstat = machine.kstat  #: the machine's kstat counter registry
         self.fs = FileSystem()
-        self.sched = Scheduler(machine)
+        self.sched = make_scheduler(scheduler, machine)
         self.sched.kernel = self
         self.proc_table = ProcTable()
         self.programs: Dict[str, ProgramImage] = {}

@@ -71,6 +71,7 @@ class Proc:
         self.need_resched = False
         self.quantum_left = 0
         self.cpu = None
+        self.last_cpu: Optional[int] = None  #: scheduler affinity hint
         self.in_kernel = False
 
         # pending alarm (engine event), cancelled at exit

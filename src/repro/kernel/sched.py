@@ -1,29 +1,396 @@
-"""The multiprocessor scheduler.
+"""The multiprocessor scheduler: per-CPU run queues with affinity.
 
-A global priority run queue feeds idle CPUs.  Preemption is requested by
-setting ``need_resched`` on the running process; the CPU honors it at its
-next user-mode boundary (kernel code is never preempted on its own CPU,
-the System V rule the paper's locking design assumes).
+Each CPU owns a priority run queue.  ``wakeup`` enqueues a process on
+the CPU it last ran on when that queue is not noticeably deeper than its
+peers (warm cache, and — for share-group members, which all run under
+one ASID — a warm TLB); otherwise it falls back to the least-loaded
+queue.  An idle CPU drains its own queue first and *steals* the best
+runnable process from a peer when its queue is empty, so no CPU idles
+while work waits.  Dispatch and preemption decisions peek only at the
+queue heads (O(ncpus)), never at every runnable process — the global
+run-queue scan this design replaced is kept as :class:`GlobalScheduler`
+for the E15 ablation.
+
+Preemption is requested by setting ``need_resched`` on the running
+process; the CPU honors it at its next user-mode boundary (kernel code
+is never preempted on its own CPU, the System V rule the paper's locking
+design assumes).
 
 Gang mode — the paper's section 8 suggestion that "at least two of the
 processes in the share group must run in parallel, or the group should
 not be allowed to execute at all" — is implemented as an extension: a
-share group marked gang-scheduled is only dispatched when enough CPUs are
-idle to run *all* of its runnable members side by side, and they are then
-placed as a unit.  Experiment E12 measures what this buys spinlock-heavy
-workloads.
+share group marked gang-scheduled is only dispatched when enough CPUs
+are idle to run *all* of its runnable members side by side, and they are
+then placed as a unit.  A gang member at the head of the combined queues
+*reserves* idle CPUs: until enough processors are free the scheduler
+dispatches nothing and asks running non-members to yield.  Experiment
+E12 measures what this buys spinlock-heavy workloads.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.kernel.proc import Proc, ProcState
 
+#: a waking process stays on its last CPU's queue as long as that queue
+#: is at most this much deeper than the shallowest queue
+AFFINITY_SLACK = 1
+
+
+class RunQueue:
+    """One CPU's priority run queue.
+
+    A binary heap of ``[pri, seq, proc, alive]`` entries with lazy
+    deletion: ``remove`` (work stealing, gang co-dispatch, priority
+    changes) marks the entry dead and the next ``peek``/``pop`` prunes
+    it.  ``seq`` is the scheduler-wide enqueue counter, so FIFO order
+    within a priority is preserved across queues and runs are
+    deterministic.
+    """
+
+    __slots__ = ("idx", "_heap", "_entries")
+
+    def __init__(self, idx: int):
+        self.idx = idx
+        self._heap: List[list] = []
+        self._entries: Dict[int, list] = {}  #: pid -> live heap entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, proc: Proc, seq: int) -> None:
+        if proc.pid in self._entries:
+            raise SimulationError(
+                "pid %d enqueued twice on runq%d" % (proc.pid, self.idx)
+            )
+        entry = [proc.pri, seq, proc, True]
+        self._entries[proc.pid] = entry
+        heapq.heappush(self._heap, entry)
+
+    def _prune(self) -> None:
+        while self._heap and not self._heap[0][3]:
+            heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Tuple[int, int, Proc]]:
+        """``(pri, seq, proc)`` of the best entry, or None when empty."""
+        self._prune()
+        if not self._heap:
+            return None
+        pri, seq, proc, _alive = self._heap[0]
+        return pri, seq, proc
+
+    def remove(self, proc: Proc) -> bool:
+        entry = self._entries.pop(proc.pid, None)
+        if entry is None:
+            return False
+        entry[3] = False
+        return True
+
 
 class Scheduler:
-    """Global run queue plus idle-CPU bookkeeping."""
+    """Per-CPU run queues, cache/TLB affinity, work stealing, gang mode."""
+
+    #: name under which make_scheduler finds this class
+    kind = "percpu"
+
+    def __init__(self, machine):
+        self.machine = machine
+        self.kernel = None  #: set by the kernel at boot (trace hooks)
+        self._queues = [RunQueue(cpu.idx) for cpu in machine.cpus]
+        self._where: Dict[int, RunQueue] = {}  #: pid -> queue holding it
+        self._idle = list(machine.cpus)  #: CPUs with nothing to run
+        self._seq = 0  #: global enqueue counter (FIFO within priority)
+        self.wakeups = 0
+        self.gang_dispatches = 0
+        self.gang_holds = 0
+        self.affinity_hits = 0  #: dispatched on last_cpu
+        self.migrations = 0  #: dispatched on a different CPU
+        self.steals = 0  #: taken from another CPU's queue
+        self.picks = 0  #: dispatch decisions taken
+        self.scan_steps = 0  #: queue entries examined making them
+        for cpu in machine.cpus:
+            cpu.dispatcher = self
+
+    # ------------------------------------------------------------------
+    # queue maintenance
+
+    def wakeup(self, proc: Proc) -> None:
+        """Make ``proc`` runnable and get it a CPU if one is idle."""
+        if proc.state in (ProcState.RUNNING, ProcState.RUNNABLE):
+            return
+        if proc.state is ProcState.ZOMBIE:
+            raise SimulationError("wakeup of zombie %r" % proc)
+        proc.state = ProcState.RUNNABLE
+        self._enqueue(proc)
+        self.wakeups += 1
+        self.machine.kstat.add("kernel", 0, "wakeups")
+        if self.kernel is not None:
+            self.kernel.trace("wakeup", proc.pid)
+        self._dispatch_idle()
+        if proc.state is ProcState.RUNNABLE:
+            self._request_preemption(proc)
+
+    def requeue(self, proc: Proc) -> None:
+        """A preempted or yielding process goes back to a queue tail.
+
+        ``_enqueue`` prefers the queue of the CPU it just ran on, so a
+        preempted process contends for its own — still warm — processor
+        first.
+        """
+        proc.state = ProcState.RUNNABLE
+        self._enqueue(proc)
+
+    def _enqueue(self, proc: Proc) -> None:
+        home = proc.last_cpu
+        queue = None
+        if home is not None:
+            shallowest = min(len(q) for q in self._queues)
+            if len(self._queues[home]) <= shallowest + AFFINITY_SLACK:
+                queue = self._queues[home]
+        elif self._idle:
+            # never-run process: head straight for a queue that will
+            # drain immediately
+            queue = self._queues[self._idle[0].idx]
+        if queue is None:
+            queue = min(self._queues, key=len)
+        self._seq += 1
+        queue.push(proc, self._seq)
+        self._where[proc.pid] = queue
+        self.machine.kstat.set("cpu", queue.idx, "runq_depth", len(queue))
+
+    def reprioritize(self, proc: Proc) -> None:
+        """``proc.pri`` changed; re-key its queue entry if it is waiting."""
+        queue = self._where.pop(proc.pid, None)
+        if queue is None:
+            return
+        queue.remove(proc)
+        self._seq += 1
+        queue.push(proc, self._seq)
+        self._where[proc.pid] = queue
+
+    def cpu_idle(self, cpu) -> None:
+        """``cpu`` has nothing to run; find it work or park it."""
+        if cpu.current is not None:
+            raise SimulationError("cpu_idle on busy CPU%d" % cpu.idx)
+        if cpu not in self._idle:
+            self._idle.append(cpu)
+        self._dispatch_idle()
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    def _dispatch_idle(self) -> None:
+        """Fill idle CPUs until no eligible work remains."""
+        while self._idle:
+            if not self._dispatch_one():
+                return
+
+    def _dispatch_one(self) -> bool:
+        """One dispatch decision; False when nothing may be placed.
+
+        The best candidate is found by peeking the head of every queue —
+        O(ncpus), independent of how many processes are runnable.  A
+        gang member at the head reserves idle CPUs: if not enough
+        processors are free to co-schedule the whole gang we dispatch
+        nothing (leaving CPUs idle to accumulate) and ask running
+        non-members to yield.  Deliberately non-work-conserving — that
+        is the price of the section 8 guarantee that the group runs in
+        parallel or not at all.
+
+        Priorities are strict, but *within* the best priority class an
+        idle CPU takes the head of its own queue before the globally
+        oldest one — that slight FIFO bend is what makes affinity pay:
+        a requeued process is usually redispatched on the CPU whose
+        cache and TLB it just warmed instead of round-robining across
+        the machine.
+        """
+        chosen = self._select()
+        if chosen is None:
+            return False
+        if self._is_gang(chosen):
+            if self._gang_need(chosen) > len(self._idle):
+                self.gang_holds += 1
+                self._evict_for_gang(chosen)
+                return False
+            self.gang_dispatches += 1
+            self._place(chosen)
+            for member in self._gang_companions(chosen):
+                self._place(member)
+            return True
+        self._place(self._prefer_local(chosen))
+        return True
+
+    def _prefer_local(self, best: Proc) -> Proc:
+        """A same-priority head on an idle CPU's own queue, if any.
+
+        Gang heads are never chosen here — gangs dispatch only through
+        the global-best path so the reservation rule stays intact.
+        """
+        for cpu in self._idle:
+            head = self._queues[cpu.idx].peek()
+            self.scan_steps += 1
+            if head is None:
+                continue
+            pri, _seq, proc = head
+            if pri == best.pri and not self._is_gang(proc):
+                return proc
+        return best
+
+    def _select(self) -> Optional[Proc]:
+        """Globally-best queued process, by (priority, enqueue order)."""
+        self.picks += 1
+        best = None
+        best_key = None
+        for queue in self._queues:
+            self.scan_steps += 1
+            head = queue.peek()
+            if head is None:
+                continue
+            pri, seq, proc = head
+            if best is None or (pri, seq) < best_key:
+                best, best_key = proc, (pri, seq)
+        return best
+
+    def _place(self, proc: Proc) -> None:
+        queue = self._where.pop(proc.pid)
+        queue.remove(proc)
+        kstat = self.machine.kstat
+        kstat.set("cpu", queue.idx, "runq_depth", len(queue))
+        cpu = self._choose_cpu(proc, queue)
+        self._idle.remove(cpu)
+        proc.state = ProcState.RUNNING
+        if proc.last_cpu is not None:
+            if cpu.idx == proc.last_cpu:
+                self.affinity_hits += 1
+                kstat.add("kernel", 0, "sched_affinity_hits")
+            else:
+                self.migrations += 1
+                kstat.add("kernel", 0, "sched_migrations")
+        if cpu.idx != queue.idx:
+            self.steals += 1
+            kstat.add("kernel", 0, "sched_steals")
+            kstat.add("cpu", cpu.idx, "runq_steals")
+        cpu.assign(proc)
+
+    def _choose_cpu(self, proc: Proc, queue: RunQueue):
+        """Best idle CPU for ``proc``: its queue's owner, then last_cpu,
+        then whichever went idle first."""
+        for cpu in self._idle:
+            if cpu.idx == queue.idx:
+                return cpu
+        if proc.last_cpu is not None and proc.last_cpu != queue.idx:
+            for cpu in self._idle:
+                if cpu.idx == proc.last_cpu:
+                    return cpu
+        return self._idle[0]
+
+    def _evict_for_gang(self, proc: Proc) -> None:
+        """Ask CPUs running non-members to free up for a waiting gang."""
+        members = set(proc.shaddr.members())
+        for cpu in self.machine.cpus:
+            running = cpu.current
+            if running is not None and running not in members:
+                running.need_resched = True
+
+    # ------------------------------------------------------------------
+    # gang mode (extension)
+
+    @staticmethod
+    def _is_gang(proc: Proc) -> bool:
+        return proc.shaddr is not None and getattr(proc.shaddr, "gang", False)
+
+    def _gang_runnable(self, proc: Proc) -> List[Proc]:
+        return [
+            member for member in proc.shaddr.members()
+            if member.state is ProcState.RUNNABLE
+        ]
+
+    def _gang_need(self, proc: Proc) -> int:
+        """CPUs required to co-dispatch the gang (capped at the machine)."""
+        return min(len(self._gang_runnable(proc)), self.machine.ncpus)
+
+    def _gang_blocked(self, proc: Proc) -> bool:
+        """May this gang member not be dispatched yet?"""
+        if not self._is_gang(proc):
+            return False
+        return self._gang_need(proc) > len(self._idle)
+
+    def _gang_companions(self, proc: Proc) -> List[Proc]:
+        """Other members to place on idle CPUs alongside ``proc``."""
+        take = self._gang_need(proc) - 1
+        return [
+            member for member in self._gang_runnable(proc) if member is not proc
+        ][:take]
+
+    # ------------------------------------------------------------------
+    # preemption
+
+    def _request_preemption(self, incoming: Proc) -> None:
+        """Ask the worst-priority running CPU to yield to ``incoming``."""
+        victim_cpu = None
+        for cpu in self.machine.cpus:
+            running = cpu.current
+            if running is None:
+                continue
+            if running.pri <= incoming.pri:
+                continue
+            if victim_cpu is None or running.pri > victim_cpu.current.pri:
+                victim_cpu = cpu
+        if victim_cpu is not None:
+            victim_cpu.current.need_resched = True
+
+    def should_preempt(self, cpu, proc: Proc) -> bool:
+        """Quantum expired on ``proc``: is someone of equal/better
+        priority waiting on this CPU's own queue?
+
+        Only the local head is examined — O(1), where the global run
+        queue scanned every runnable process.  Cross-CPU pressure is
+        handled at wakeup time (``_request_preemption``) and by idle
+        CPUs stealing, so no remote scan is needed here.
+        """
+        self.scan_steps += 1
+        head = self._queues[cpu.idx].peek()
+        if head is None:
+            return False
+        pri, _seq, candidate = head
+        if self._gang_blocked(candidate):
+            return False
+        return pri <= proc.pri
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def has_runnable(self) -> bool:
+        """Is anybody waiting for a CPU?  (sched_yield fast-path check)"""
+        return bool(self._where)
+
+    @property
+    def runnable_count(self) -> int:
+        return len(self._where)
+
+    @property
+    def idle_count(self) -> int:
+        return len(self._idle)
+
+    def queue_depths(self) -> List[int]:
+        """Current depth of every CPU's run queue (introspection)."""
+        return [len(queue) for queue in self._queues]
+
+
+class GlobalScheduler:
+    """The pre-E15 scheduler: one global run queue feeding idle CPUs.
+
+    Kept as the ablation baseline for experiment E15: ``_pick`` scans
+    every runnable process per dispatch and ``should_preempt`` re-scans
+    the whole queue at every quantum expiry, the O(n) hot path the
+    per-CPU scheduler removes.  Select it with
+    ``System(scheduler="global")``.
+    """
+
+    kind = "global"
 
     def __init__(self, machine):
         self.machine = machine
@@ -33,6 +400,11 @@ class Scheduler:
         self.wakeups = 0
         self.gang_dispatches = 0
         self.gang_holds = 0
+        self.affinity_hits = 0  #: always 0: placement ignores last_cpu
+        self.migrations = 0
+        self.steals = 0
+        self.picks = 0  #: dispatch decisions taken
+        self.scan_steps = 0  #: queue entries examined making them
         for cpu in machine.cpus:
             cpu.dispatcher = self
 
@@ -59,6 +431,9 @@ class Scheduler:
         """A preempted or yielding process goes back to the queue tail."""
         proc.state = ProcState.RUNNABLE
         self._queue.append(proc)
+
+    def reprioritize(self, proc: Proc) -> None:
+        """No-op: ``_pick`` reads priorities live off the global queue."""
 
     def cpu_idle(self, cpu) -> None:
         """``cpu`` has nothing to run; find it work or park it."""
@@ -99,6 +474,8 @@ class Scheduler:
         the section 8 guarantee that the group runs in parallel or not
         at all.
         """
+        self.picks += 1
+        self.scan_steps += len(self._queue)
         best: Optional[Proc] = None
         for proc in self._queue:
             if best is None or proc.pri < best.pri:
@@ -107,8 +484,10 @@ class Scheduler:
             return None
         if self._is_gang(best):
             if self._gang_blocked(best):
+                self.gang_holds += 1
                 self._evict_for_gang(best)
                 return None
+            self.gang_dispatches += 1
             return best, self._gang_companions(best)
         return best, []
 
@@ -123,62 +502,30 @@ class Scheduler:
     # ------------------------------------------------------------------
     # gang mode (extension)
 
-    @staticmethod
-    def _is_gang(proc: Proc) -> bool:
-        return proc.shaddr is not None and getattr(proc.shaddr, "gang", False)
-
-    def _gang_runnable(self, proc: Proc) -> List[Proc]:
-        return [
-            member for member in proc.shaddr.members()
-            if member.state is ProcState.RUNNABLE
-        ]
-
-    def _gang_need(self, proc: Proc) -> int:
-        """CPUs required to co-dispatch the gang (capped at the machine)."""
-        return min(len(self._gang_runnable(proc)), self.machine.ncpus)
-
-    def _gang_blocked(self, proc: Proc) -> bool:
-        """May this gang member not be dispatched yet?"""
-        if not self._is_gang(proc):
-            return False
-        if self._gang_need(proc) <= len(self._idle):
-            return False
-        self.gang_holds += 1
-        return True
+    _is_gang = staticmethod(Scheduler._is_gang)
+    _gang_runnable = Scheduler._gang_runnable
+    _gang_need = Scheduler._gang_need
+    _gang_blocked = Scheduler._gang_blocked
 
     def _gang_companions(self, proc: Proc) -> List[Proc]:
         """Other members to place on idle CPUs alongside ``proc``."""
-        if not self._is_gang(proc):
-            return []
         take = self._gang_need(proc) - 1
-        companions = [
+        return [
             member for member in self._gang_runnable(proc) if member is not proc
         ][:take]
-        self.gang_dispatches += 1
-        return companions
 
     # ------------------------------------------------------------------
     # preemption
 
-    def _request_preemption(self, incoming: Proc) -> None:
-        """Ask the worst-priority running CPU to yield to ``incoming``."""
-        victim_cpu = None
-        for cpu in self.machine.cpus:
-            running = cpu.current
-            if running is None:
-                continue
-            if running.pri <= incoming.pri:
-                continue
-            if victim_cpu is None or running.pri > victim_cpu.current.pri:
-                victim_cpu = cpu
-        if victim_cpu is not None:
-            victim_cpu.current.need_resched = True
+    _request_preemption = Scheduler._request_preemption
 
     def should_preempt(self, cpu, proc: Proc) -> bool:
         """Quantum expired on ``proc``: is someone of equal/better priority waiting?"""
-        for queued in self._queue:
+        for steps, queued in enumerate(self._queue, start=1):
             if queued.pri <= proc.pri and not self._gang_blocked(queued):
+                self.scan_steps += steps
                 return True
+        self.scan_steps += len(self._queue)
         return False
 
     # ------------------------------------------------------------------
@@ -195,3 +542,24 @@ class Scheduler:
     @property
     def idle_count(self) -> int:
         return len(self._idle)
+
+    def queue_depths(self) -> List[int]:
+        """Global queue: all waiting work reported on one depth."""
+        return [len(self._queue)] + [0] * (self.machine.ncpus - 1)
+
+
+#: selectable scheduler implementations (System(scheduler=...))
+SCHEDULERS = {cls.kind: cls for cls in (Scheduler, GlobalScheduler)}
+
+
+def make_scheduler(kind, machine):
+    """Build the scheduler named ``kind`` (or call a custom factory)."""
+    if callable(kind):
+        return kind(machine)
+    try:
+        cls = SCHEDULERS[kind]
+    except KeyError:
+        raise ValueError(
+            "unknown scheduler %r (have: %s)" % (kind, ", ".join(sorted(SCHEDULERS)))
+        )
+    return cls(machine)

@@ -103,8 +103,9 @@ def render_counters(kstat, kind: str = "kernel") -> str:
 
 
 def render_cpus(kernel) -> str:
-    """Per-CPU dispatch/switch/IPI counters plus busy cycles."""
+    """Per-CPU dispatch/switch/IPI counters, run-queue state, busy cycles."""
     kstat = kernel.kstat
+    depths = kernel.sched.queue_depths()
     rows = []
     for cpu in kernel.machine.cpus:
         rows.append([
@@ -112,12 +113,14 @@ def render_cpus(kernel) -> str:
             cpu.dispatches,
             cpu.switches,
             cpu.preemptions,
+            depths[cpu.idx],
+            kstat.get("cpu", cpu.idx, "runq_steals"),
             kstat.get("cpu", cpu.idx, "shootdown_ipis_sent"),
             kstat.get("cpu", cpu.idx, "shootdown_ipis_rcvd"),
             "{:,}".format(cpu.busy_cycles),
         ])
     return "CPUS\n" + _table(
-        ["CPU", "DISPATCHES", "SWITCHES", "PREEMPTS",
+        ["CPU", "DISPATCHES", "SWITCHES", "PREEMPTS", "RUNQ", "STEALS",
          "IPI-SENT", "IPI-RCVD", "BUSY-CYCLES"],
         rows,
     )

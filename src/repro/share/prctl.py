@@ -108,5 +108,6 @@ def prctl(kernel, proc, option: int, value: int = 0, value2: int = 0):
             raise SysError(EPERM, "only root may raise priority")
         for member in proc.shaddr.members():
             member.pri = int(value)
+            kernel.sched.reprioritize(member)
         return int(value)
     raise SysError(EINVAL, "unknown prctl option %d" % option)

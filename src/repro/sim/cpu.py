@@ -60,6 +60,7 @@ class CPU:
             raise SimulationError("CPU%d assign while busy" % self.idx)
         self.current = proc
         proc.cpu = self
+        proc.last_cpu = self.idx
         proc.need_resched = False
         proc.quantum_left = self.costs.quantum
         self.dispatches += 1

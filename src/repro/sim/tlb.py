@@ -104,6 +104,7 @@ class TLB:
         ]
         for key in stale:
             del self._entries[key]
+        self.flushes += 1
 
     # ------------------------------------------------------------------
     # introspection

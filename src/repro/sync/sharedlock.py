@@ -85,31 +85,50 @@ class SharedReadLock:
 
     def acquire_update(self, proc):
         """Generator: wait for all scanners to drain, then hold exclusively."""
+        yield from self._acquire_exclusive(proc, update_side=True)
+
+    def release_update(self, proc):
+        """Generator: end the update; wake everyone to re-contend."""
+        yield from self._release_exclusive(proc, update_side=True)
+
+    def _acquire_exclusive(self, proc, update_side: bool):
+        """Generator: the exclusive path, attributed to either side's
+        statistics (the E4 ablation takes it for reads too)."""
         entered = self.machine.engine.now
         blocked = False
         yield from self._acclck.acquire(proc)
         while self._acccnt != 0:
             self._waitcnt += 1
-            self.update_blocks += 1
+            if update_side:
+                self.update_blocks += 1
+            else:
+                self.read_blocks += 1
             blocked = True
             self._acclck.release()
             yield from self._updwait.p(proc)
             yield from self._acclck.acquire(proc)
         self._acccnt = -1
-        self.update_acquires += 1
         now = self.machine.engine.now
-        self._upd_stats.record_acquire(now - entered, blocked)
+        if update_side:
+            self.update_acquires += 1
+            self._upd_stats.record_acquire(now - entered, blocked)
+        else:
+            self.read_acquires += 1
+            self._rd_stats.record_acquire(now - entered, blocked)
         self._upd_since = now
         self._acclck.release()
 
-    def release_update(self, proc):
-        """Generator: end the update; wake everyone to re-contend."""
+    def _release_exclusive(self, proc, update_side: bool):
         yield from self._acclck.acquire(proc)
         if self._acccnt != -1:
             self._acclck.release()
             raise SimulationError("release_update without update on %s" % self.name)
         self._acccnt = 0
-        self._upd_stats.record_hold(self.machine.engine.now - self._upd_since)
+        held = self.machine.engine.now - self._upd_since
+        if update_side:
+            self._upd_stats.record_hold(held)
+        else:
+            self._rd_stats.record_hold(held)
         self._broadcast()
         self._acclck.release()
 
@@ -138,10 +157,9 @@ class ExclusiveAblationLock(SharedReadLock):
     """
 
     def acquire_read(self, proc):
-        yield from self.acquire_update(proc)
-        # keep read statistics meaningful for the experiment harness
-        self.read_acquires += 1
-        self.update_acquires -= 1
+        # exclusive, but charged to the read-side counters and lockstats
+        # so the experiment harness can still compare sides
+        yield from self._acquire_exclusive(proc, update_side=False)
 
     def release_read(self, proc):
-        yield from self.release_update(proc)
+        yield from self._release_exclusive(proc, update_side=False)

@@ -47,6 +47,7 @@ class System:
         batched_flag_test: bool = True,
         vm_lock_factory=SharedReadLock,
         metrics_enabled: bool = True,
+        scheduler="percpu",
     ):
         self.machine = Machine(
             ncpus=ncpus,
@@ -60,6 +61,7 @@ class System:
             share_groups_enabled=share_groups_enabled,
             batched_flag_test=batched_flag_test,
             vm_lock_factory=vm_lock_factory,
+            scheduler=scheduler,
         )
         self.engine = self.machine.engine
 

@@ -202,6 +202,46 @@ def test_fdtable_overflow_is_emfile():
     assert excinfo.value.errno == EMFILE
 
 
+def test_fdtable_dup_full_table_releases_held_reference():
+    table = FDTable(1)
+    file = make_file()
+    table.alloc(file)
+    base_refs = file.refcount
+    with pytest.raises(SysError) as excinfo:
+        table.dup(0)
+    from repro.errors import EMFILE
+
+    assert excinfo.value.errno == EMFILE
+    assert file.refcount == base_refs
+
+
+def test_fdtable_dup2_bad_newfd_releases_held_reference():
+    table = FDTable(4)
+    file = make_file()
+    fd = table.alloc(file)
+    base_refs = file.refcount
+    for newfd in (-1, 4, 99):
+        with pytest.raises(SysError) as excinfo:
+            table.dup2(fd, newfd)
+        from repro.errors import EBADF
+
+        assert excinfo.value.errno == EBADF
+        assert file.refcount == base_refs
+
+
+def test_fdtable_dup_and_dup2_still_hold_on_success():
+    table = FDTable(4)
+    file = make_file()
+    fd = table.alloc(file)
+    base_refs = file.refcount
+    newfd = table.dup(fd)
+    assert table.get(newfd) is file
+    assert file.refcount == base_refs + 1
+    table.dup2(fd, 3)
+    assert table.get(3) is file
+    assert file.refcount == base_refs + 2
+
+
 def test_fdtable_sync_from_counts_and_references():
     table = FDTable(8)
     shared = make_file()

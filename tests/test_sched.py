@@ -1,9 +1,10 @@
 """Scheduler and CPU interpreter behaviour: parallelism, preemption,
-quantum slicing, priorities, gang mode."""
+quantum slicing, priorities, gang mode, per-CPU queues."""
 
 import pytest
 
 from repro import PR_SALL, PR_SETGANG, System, status_code
+from repro.kernel.proc import Proc, ProcState
 from tests.conftest import run_program
 
 
@@ -232,3 +233,265 @@ def test_no_proc_on_two_cpus_at_once():
     engine.run(max_events=500_000)
     guard["stop"] = True
     assert not seen_bad
+
+
+# ----------------------------------------------------------------------
+# per-CPU run queues: affinity, stealing, gang accounting
+
+
+def _busy_group_workload(api, arg):
+    """Several procs trading the CPUs: plenty of requeue traffic."""
+
+    def child(api, arg):
+        for _ in range(5):
+            yield from api.compute(30_000)
+            yield from api.yield_cpu()
+        return 0
+
+    for _ in range(6):
+        yield from api.fork(child)
+    for _ in range(6):
+        yield from api.wait()
+    return 0
+
+
+def test_affinity_rewarms_the_last_cpu():
+    """Requeued procs go back to the CPU they ran on and are counted."""
+    sim = System(ncpus=2)
+    sim.spawn(_busy_group_workload)
+    sim.run()
+    sched = sim.kernel.sched
+    assert sched.affinity_hits > 0
+    assert sched.affinity_hits > sched.migrations
+    kstat = sim.kstat.scope("kernel", 0)
+    assert kstat.get("sched_affinity_hits") == sched.affinity_hits
+    assert kstat.get("sched_migrations", 0) == sched.migrations
+    assert kstat.get("sched_steals", 0) == sched.steals
+
+
+def test_idle_cpu_steals_queued_work():
+    """A CPU going idle takes work queued on a busy peer's queue."""
+
+    def short(api, arg):
+        yield from api.compute(10_000)
+        return 0
+
+    def long(api, out):
+        out["long_started"] = api.now
+        yield from api.compute(50_000)
+        return 0
+
+    def main(api, out):
+        # main holds CPU0 throughout; short runs on CPU1; long lands on
+        # a queue and must be stolen by CPU1 when short exits
+        yield from api.fork(short)
+        yield from api.fork(long, out)
+        yield from api.compute(300_000)
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, sim = run_program(main, ncpus=2)
+    sched = sim.kernel.sched
+    assert sched.steals >= 1
+    assert sim.kstat.scope("kernel", 0).get("sched_steals") == sched.steals
+    # the steal happened long before main's compute finished
+    assert out["long_started"] < 300_000
+
+
+def _make_stub_proc(pid, pri=20):
+    proc = Proc(pid, None, None, name="stub%d" % pid)
+    proc.pri = pri
+    return proc
+
+
+class _FakeGangBlock:
+    """Stands in for a SharedAddressBlock with gang mode on."""
+
+    gang = True
+
+    def __init__(self, members):
+        self._members = members
+
+    def members(self):
+        return list(self._members)
+
+
+def _occupy_only_cpu(sim, proc):
+    cpu = sim.machine.cpus[0]
+    sim.kernel.sched._idle.remove(cpu)
+    cpu.current = proc
+    proc.cpu = cpu
+    proc.state = ProcState.RUNNING
+    return cpu
+
+
+@pytest.mark.parametrize("kind", ["percpu", "global"])
+def test_quantum_polling_does_not_inflate_gang_holds(kind):
+    """Regression: _gang_blocked bumped gang_holds on every
+    should_preempt poll, so the stat grew without any dispatch attempt."""
+    sim = System(ncpus=1, scheduler=kind)
+    sched = sim.kernel.sched
+    running = _make_stub_proc(100)
+    cpu = _occupy_only_cpu(sim, running)
+
+    m1, m2 = _make_stub_proc(101), _make_stub_proc(102)
+    block = _FakeGangBlock([m1, m2])
+    m1.shaddr = m2.shaddr = block
+    m1.state = m2.state = ProcState.SLEEPING
+    sched.wakeup(m1)
+    sched.wakeup(m2)
+
+    before = sched.gang_holds
+    for _ in range(5):
+        # the gang (2 runnable members) cannot fit on 0 idle CPUs, so
+        # the running proc must not be preempted for it...
+        assert not sched.should_preempt(cpu, running)
+    # ...and polling alone must not count as a gang hold
+    assert sched.gang_holds == before
+
+
+def test_gang_hold_counted_once_per_blocked_dispatch():
+    sim = System(ncpus=2, scheduler="percpu")
+    sched = sim.kernel.sched
+    runners = [_make_stub_proc(100), _make_stub_proc(103)]
+    for cpu, running in zip(sim.machine.cpus, runners):
+        sched._idle.remove(cpu)
+        cpu.current = running
+        running.cpu = cpu
+        running.state = ProcState.RUNNING
+
+    m1, m2 = _make_stub_proc(101), _make_stub_proc(102)
+    block = _FakeGangBlock([m1, m2])
+    m1.shaddr = m2.shaddr = block
+    m1.state = m2.state = ProcState.SLEEPING
+    # no CPU idle: waking the members queues them without a dispatch
+    # attempt, so no hold is recorded yet
+    sched.wakeup(m1)
+    sched.wakeup(m2)
+    assert sched.gang_holds == 0
+
+    # one CPU frees up; the gang needs two, so the dispatch attempt
+    # records exactly one hold and asks the non-member to make room
+    cpu1 = sim.machine.cpus[1]
+    cpu1.current = None
+    runners[1].cpu = None
+    sched.cpu_idle(cpu1)
+    assert sched.gang_holds == 1
+    assert runners[0].need_resched
+    # the reserved CPU stays idle rather than running anything else
+    assert sched.idle_count == 1
+    sched.cpu_idle(cpu1)  # re-poll: one more dispatch attempt, one more hold
+    assert sched.gang_holds == 2
+
+
+def test_reprioritize_rekeys_a_queued_proc():
+    sim = System(ncpus=1)
+    sched = sim.kernel.sched
+    running = _make_stub_proc(100)
+    _occupy_only_cpu(sim, running)
+
+    a, b = _make_stub_proc(101), _make_stub_proc(102)
+    a.state = b.state = ProcState.SLEEPING
+    sched.wakeup(a)
+    sched.wakeup(b)
+    assert sched._select() is a  # FIFO within equal priority
+    b.pri = 5
+    sched.reprioritize(b)
+    assert sched._select() is b  # new key took effect in the heap
+
+
+def test_setgrouppri_reorders_queued_members():
+    """PR_SETGROUPPRI on queued members must re-key their heap entries."""
+    from repro.share.prctl import PR_SETGROUPPRI
+
+    def member(api, ctx):
+        log, tag = ctx
+        yield from api.compute(40_000)
+        log.append(tag)
+        return 0
+
+    def hog(api, arg):
+        yield from api.compute(400_000)
+        return 0
+
+    def main(api, log):
+        yield from api.fork(hog)
+        yield from api.sproc(member, PR_SALL, (log, "m1"))
+        yield from api.sproc(member, PR_SALL, (log, "m2"))
+        yield from api.prctl(PR_SETGROUPPRI, 5)
+        yield from api.compute(200_000)
+        for _ in range(3):
+            yield from api.wait()
+        log.append("main")
+        return 0
+
+    log = []
+    sim = System(ncpus=2)
+    sim.spawn(lambda api, a: main(api, log))
+    sim.run()
+    # the boosted members finished while the pri-20 hog was still queued
+    assert log.index("m1") < 2 and log.index("m2") < 2
+
+
+@pytest.mark.parametrize("kind", ["percpu", "global"])
+def test_metrics_toggle_is_bit_identical(kind):
+    """Turning instrumentation off must not change simulated results."""
+    cycles = {}
+    for metrics in (True, False):
+        sim = System(ncpus=2, metrics_enabled=metrics, scheduler=kind)
+        sim.spawn(_busy_group_workload)
+        cycles[metrics] = sim.run()
+    assert cycles[True] == cycles[False]
+
+
+def test_global_scheduler_ablation_still_schedules():
+    """scheduler="global" keeps the old single-queue behaviour working."""
+
+    def child(api, arg):
+        yield from api.compute(100_000)
+        return 0
+
+    def main(api, out):
+        start = api.now
+        for _ in range(4):
+            yield from api.fork(child)
+        for _ in range(4):
+            yield from api.wait()
+        out["elapsed"] = api.now - start
+        return 0
+
+    out, sim = run_program(main, ncpus=4, scheduler="global")
+    sched = sim.kernel.sched
+    assert sched.kind == "global"
+    assert out["elapsed"] < 4 * 100_000  # still runs children in parallel
+    assert sched.affinity_hits == 0  # global placement ignores last_cpu
+
+
+def test_percpu_scans_fewer_entries_than_global():
+    """The point of the rewrite: dispatch work no longer scales with the
+    number of runnable processes."""
+    scans = {}
+    for kind in ("percpu", "global"):
+        sim = System(ncpus=2, scheduler=kind)
+        sim.spawn(_busy_group_workload)
+        sim.run()
+        sched = sim.kernel.sched
+        assert sched.picks > 0
+        scans[kind] = sched.scan_steps / sched.picks
+    assert scans["percpu"] < scans["global"]
+
+
+def test_runq_depth_gauge_tracks_queue_and_drains_to_zero():
+    sim = System(ncpus=2)
+    sim.spawn(_busy_group_workload)
+    sim.run()
+    sched = sim.kernel.sched
+    assert sched.queue_depths() == [0, 0]
+    for idx in range(2):
+        assert sim.kstat.scope("cpu", idx).get("runq_depth") == 0
+
+
+def test_unknown_scheduler_name_is_rejected():
+    with pytest.raises(ValueError):
+        System(ncpus=1, scheduler="nope")

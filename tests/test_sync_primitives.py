@@ -275,3 +275,121 @@ def test_sharedlock_misuse_detected():
         _drive(lock.release_read(_StubProc()))
     with pytest.raises(SimulationError):
         _drive(lock.release_update(_StubProc()))
+
+
+def test_sharedlock_broadcast_drains_mixed_waiters():
+    """Readers and an updater asleep together: one _broadcast must wake
+    all of them, the readers re-acquire, and the updater re-contends
+    without losing its wakeup."""
+    from repro.sim.machine import Machine
+
+    machine = Machine(ncpus=1)
+    waker = _StubWaker()
+    lock = SharedReadLock(machine, waker, name="mix")
+
+    upd1 = _StubProc()
+    done, _ = _drive(lock.acquire_update(upd1))
+    assert done and lock.updating
+
+    readers = [_StubProc() for _ in range(3)]
+    reader_gens = [lock.acquire_read(reader) for reader in readers]
+    for gen in reader_gens:
+        assert _drive(gen) == (False, None), "readers must wait out the update"
+    upd2 = _StubProc()
+    upd2_gen = lock.acquire_update(upd2)
+    assert _drive(upd2_gen) == (False, None)
+    assert lock._waitcnt == 4
+    assert lock.read_blocks == 3
+    assert lock.update_blocks == 1  # upd1 acquired uncontended
+
+    # ending the update wakes every sleeper exactly once, FIFO
+    done, _ = _drive(lock.release_update(upd1))
+    assert done
+    assert waker.woken == readers + [upd2]
+    assert lock._waitcnt == 0
+
+    # the readers get in; the updater finds them active and re-banks
+    for gen in reader_gens:
+        done, _ = _drive(gen)
+        assert done
+    assert lock.readers == 3
+    assert _drive(upd2_gen) == (False, None)
+    assert lock.update_blocks == 2
+    assert lock._waitcnt == 1
+
+    # intermediate reader exits broadcast nothing; the last one pays out
+    done, _ = _drive(lock.release_read(readers[0]))
+    assert done
+    done, _ = _drive(lock.release_read(readers[1]))
+    assert done
+    assert len(waker.woken) == 4, "no broadcast while readers remain"
+    done, _ = _drive(lock.release_read(readers[2]))
+    assert done
+    assert waker.woken[-1] is upd2
+
+    done, _ = _drive(upd2_gen)
+    assert done and lock.updating
+    done, _ = _drive(lock.release_update(upd2))
+    assert done
+
+    assert lock.read_acquires == 3
+    assert lock.update_acquires == 2
+    assert lock.read_blocks == 3
+    assert lock._waitcnt == 0
+    assert not lock.updating and lock.readers == 0
+    assert lock._updwait.nwaiters == 0, "no sleeper left behind"
+
+
+def test_ablation_lock_attributes_read_side_stats():
+    """Regression: the E4 ablation's acquire_read recorded its lockstats
+    on the update side, leaving the read-side profile empty."""
+    from repro.sim.machine import Machine
+
+    machine = Machine(ncpus=1)
+    lock = ExclusiveAblationLock(machine, _StubWaker(), name="abl")
+    reader = _StubProc()
+    done, _ = _drive(lock.acquire_read(reader))
+    assert done
+    assert lock.updating, "ablation reads hold the lock exclusively"
+    assert lock.read_acquires == 1
+    assert lock.update_acquires == 0
+    done, _ = _drive(lock.release_read(reader))
+    assert done
+
+    rd = machine.lockstats.get("abl.read")
+    upd = machine.lockstats.get("abl.update")
+    assert rd.acquisitions == 1
+    assert rd.hold_count == 1
+    assert upd.acquisitions == 0
+    assert upd.hold_count == 0
+
+    # a real update still lands on the update side
+    updater = _StubProc()
+    done, _ = _drive(lock.acquire_update(updater))
+    assert done
+    done, _ = _drive(lock.release_update(updater))
+    assert done
+    assert upd.acquisitions == 1
+    assert rd.acquisitions == 1
+
+
+def test_ablation_read_block_counts_on_read_side():
+    from repro.sim.machine import Machine
+
+    machine = Machine(ncpus=1)
+    waker = _StubWaker()
+    lock = ExclusiveAblationLock(machine, waker, name="abl2")
+    holder = _StubProc()
+    done, _ = _drive(lock.acquire_read(holder))
+    assert done
+    blocked_reader = _StubProc()
+    gen = lock.acquire_read(blocked_reader)
+    assert _drive(gen) == (False, None), "second ablation read must wait"
+    assert lock.read_blocks == 1
+    assert lock.update_blocks == 0
+    done, _ = _drive(lock.release_read(holder))
+    assert done
+    done, _ = _drive(gen)
+    assert done
+    assert lock.read_acquires == 2
+    assert machine.lockstats.get("abl2.read").contended == 1

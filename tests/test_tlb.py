@@ -74,6 +74,21 @@ def test_flush_page_and_range():
     assert tlb.probe(1, 3) is not None
 
 
+def test_flush_range_counts_like_its_siblings():
+    # regression: flush_range used to skip the flushes counter, so
+    # region-shrink shootdowns undercounted in System.metrics()
+    tlb = TLB(8)
+    for vpn in range(4):
+        tlb.insert(1, vpn, vpn + 10, True)
+    tlb.flush_range(1, 0, 2)
+    assert tlb.flushes == 1
+    tlb.flush_range(1, 100, 200)  # empty range still counts as a flush op
+    assert tlb.flushes == 2
+    tlb.flush_asid(1)
+    tlb.flush_all()
+    assert tlb.flushes == 4
+
+
 def test_hit_rate():
     tlb = TLB(8)
     tlb.insert(1, 0x1, 1, True)
