@@ -1,0 +1,118 @@
+"""Compare two BENCH_*.json files and gate on a metric regression.
+
+CI runs this after the smoke benchmark: the previous ``main`` run's
+artifact is the baseline, the fresh result is the candidate, and a
+watched metric that worsens by more than ``--threshold`` fails the job.
+Stdlib only, exit codes: 0 OK (or no baseline to compare), 1 regression,
+2 usage error.
+
+    python benchmarks/compare_bench.py \
+        --previous prev-bench/BENCH_E15.json \
+        --current bench-artifacts/BENCH_E15.json \
+        --key scheduler --gate percpu \
+        --metric scan_per_pick --threshold 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def _load_rows(path, key):
+    with open(path) as handle:
+        data = json.load(handle)
+    rows = {}
+    for row in data.get("rows", []):
+        if key in row:
+            rows[str(row[key])] = row
+    return data, rows
+
+
+def _numeric_columns(columns, rows, key):
+    numeric = []
+    for column in columns:
+        if column == key:
+            continue
+        values = [row.get(column) for row in rows.values()]
+        if values and all(isinstance(value, (int, float)) for value in values):
+            numeric.append(column)
+    return numeric
+
+
+def _render_table(key, columns, prev_rows, cur_rows):
+    lines = []
+    header = "%-12s %-16s %14s %14s %9s" % (key, "metric", "before", "after", "delta")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for name in sorted(set(prev_rows) | set(cur_rows)):
+        prev, cur = prev_rows.get(name), cur_rows.get(name)
+        for column in columns:
+            before = prev.get(column) if prev else None
+            after = cur.get(column) if cur else None
+            if before is None and after is None:
+                continue
+            if isinstance(before, (int, float)) and before:
+                delta = "%+.1f%%" % (100.0 * ((after or 0) - before) / before)
+            else:
+                delta = "n/a"
+            lines.append(
+                "%-12s %-16s %14s %14s %9s"
+                % (name, column,
+                   "-" if before is None else before,
+                   "-" if after is None else after, delta)
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--previous", required=True, help="baseline JSON path")
+    parser.add_argument("--current", required=True, help="candidate JSON path")
+    parser.add_argument("--key", default="scheduler", help="row-identity column")
+    parser.add_argument("--gate", default="percpu", help="row to gate on")
+    parser.add_argument("--metric", default="scan_per_pick",
+                        help="metric that must not regress (lower is better)")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed relative increase (0.25 = +25%%)")
+    args = parser.parse_args(argv)
+
+    if not os.path.exists(args.current):
+        print("candidate result %s missing" % args.current, file=sys.stderr)
+        return 2
+    if not os.path.exists(args.previous):
+        print("no baseline at %s - nothing to compare, passing" % args.previous)
+        return 0
+
+    _prev_data, prev_rows = _load_rows(args.previous, args.key)
+    cur_data, cur_rows = _load_rows(args.current, args.key)
+    columns = _numeric_columns(cur_data.get("columns", []), cur_rows, args.key)
+    print(_render_table(args.key, columns, prev_rows, cur_rows))
+
+    prev_row = prev_rows.get(args.gate)
+    cur_row = cur_rows.get(args.gate)
+    if prev_row is None or cur_row is None:
+        print("gate row %r absent from one side - passing" % args.gate)
+        return 0
+    before = prev_row.get(args.metric)
+    after = cur_row.get(args.metric)
+    if not isinstance(before, (int, float)) or not isinstance(after, (int, float)):
+        print("metric %r not numeric on both sides - passing" % args.metric)
+        return 0
+    if before <= 0:
+        print("baseline %s=%r not positive - passing" % (args.metric, before))
+        return 0
+    limit = before * (1.0 + args.threshold)
+    verdict = "REGRESSION" if after > limit else "ok"
+    print(
+        "gate: %s.%s %.4g -> %.4g (limit %.4g, +%.0f%%): %s"
+        % (args.gate, args.metric, before, after, limit,
+           args.threshold * 100, verdict)
+    )
+    return 1 if after > limit else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,7 +7,6 @@ saves the rendered table under benchmarks/results/ plus a machine-
 readable BENCH_<eid>.json with the headline rows and counter snapshots.
 """
 
-import pytest
 
 
 def drive(benchmark, run_experiment, **kwargs):

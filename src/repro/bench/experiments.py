@@ -229,7 +229,7 @@ def _e03_main(api, ctx):
     samples = []
     for index in range(opens):
         start = api.now
-        fd = yield from api.open("/e3-%d" % index, O_RDWR | O_CREAT)
+        yield from api.open("/e3-%d" % index, O_RDWR | O_CREAT)
         samples.append(api.now - start)
     yield from api.write(wfd, b"x" * (size - 1))
     for _ in range(size - 1):

@@ -1,0 +1,43 @@
+"""Deterministic race and deadlock checking.
+
+The paper's correctness argument (sections 6-7) is all about invariants
+that hold *between* the locks: the shared address block's reference
+count tracks its member list, every cached TLB translation points at a
+frame some live address space still maps, and every open file's
+reference count equals the descriptors (plus shaddr copies) that name
+it.  This package makes those claims executable, three ways:
+
+* :mod:`repro.check.invariants` — the invariant pack itself, callable on
+  any quiescent :class:`~repro.system.System`;
+* :mod:`repro.check.explore` — the schedule explorer: re-run a scenario
+  under N seeded scheduler perturbations, demand identical final state
+  every time, and shrink failures to a minimal perturbation;
+* :mod:`repro.check.scenarios` — the workloads the explorer drives
+  (share-group fault storms, descriptor churn, mapping churn).
+
+``python -m repro.check --seeds 8`` is the CI entry point.
+"""
+
+from repro.check.explore import ExploreReport, RunResult, explore, run_once, shrink
+from repro.check.invariants import (
+    check_fd_refcounts,
+    check_pregion_tlb,
+    check_shaddr_refcounts,
+    run_invariants,
+)
+from repro.check.scenarios import DEFAULT_SCENARIOS, SCENARIOS, Scenario
+
+__all__ = [
+    "DEFAULT_SCENARIOS",
+    "ExploreReport",
+    "RunResult",
+    "SCENARIOS",
+    "Scenario",
+    "check_fd_refcounts",
+    "check_pregion_tlb",
+    "check_shaddr_refcounts",
+    "explore",
+    "run_invariants",
+    "run_once",
+    "shrink",
+]

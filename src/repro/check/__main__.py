@@ -1,0 +1,133 @@
+"""``python -m repro.check`` — the race-check CLI CI runs.
+
+Two modes:
+
+* **explore** (default): every scenario in ``--scenarios`` runs once
+  unperturbed and once per seed in ``0..N-1``; exit 1 on any error,
+  invariant finding, lockdep violation or final-state divergence.
+
+      python -m repro.check --seeds 8
+      python -m repro.check --seeds 200 --report report.json
+
+* **reproduce** (``--seed``): one run of one scenario under one seed —
+  exactly the command a failure report prints.
+
+      python -m repro.check --scenario racy-counter --seed 3 --features place
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.check.explore import explore, run_once
+from repro.check.scenarios import DEFAULT_SCENARIOS, SCENARIOS
+from repro.sim.engine import PERTURB_FEATURES
+
+
+def _parse_args(argv) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="schedule explorer / invariant checker",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=8, metavar="N",
+        help="perturbation seeds per scenario (default 8)",
+    )
+    parser.add_argument(
+        "--scenarios", default=",".join(DEFAULT_SCENARIOS), metavar="A,B",
+        help="comma-separated scenario names (default: %s)"
+        % ",".join(DEFAULT_SCENARIOS),
+    )
+    parser.add_argument(
+        "--scenario", default=None, metavar="NAME",
+        help="single scenario for --seed reproduction mode",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="reproduce one run under this seed and exit",
+    )
+    parser.add_argument(
+        "--features", default=None, metavar="F,G",
+        help="perturbation features for --seed mode (default: all of %s)"
+        % ",".join(sorted(PERTURB_FEATURES)),
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimizing the feature set of failures",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write a JSON report here",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def _resolve(names) -> Optional[str]:
+    """Returns an error message when a scenario name is unknown."""
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        return "unknown scenario(s): %s (have: %s)" % (
+            ", ".join(unknown), ", ".join(sorted(SCENARIOS)))
+    return None
+
+
+def _reproduce(args) -> int:
+    name = args.scenario or args.scenarios.split(",")[0]
+    error = _resolve([name])
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    features = (
+        frozenset(args.features.split(",")) if args.features else PERTURB_FEATURES
+    )
+    result = run_once(SCENARIOS[name], seed=args.seed, features=features)
+    print(
+        "%s seed=%d features=%s"
+        % (name, args.seed, ",".join(sorted(features)))
+    )
+    if result.error is not None:
+        print("error (%s):" % result.error_kind)
+        for line in result.error.splitlines():
+            print("  " + line)
+    else:
+        print("completed in %d cycles" % result.cycles)
+        print(json.dumps(result.fingerprint, indent=2, sort_keys=True))
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(result.to_dict(), fh, indent=2, sort_keys=True)
+    return 0 if result.ok else 1
+
+
+def main(argv=None) -> int:
+    args = _parse_args(argv)
+    if args.list:
+        for name in sorted(SCENARIOS):
+            scenario = SCENARIOS[name]
+            default = " (default)" if name in DEFAULT_SCENARIOS else ""
+            print("%-14s %s%s" % (name, scenario.description, default))
+        return 0
+    if args.seed is not None:
+        return _reproduce(args)
+    names = [name for name in args.scenarios.split(",") if name]
+    error = _resolve(names)
+    if error:
+        print(error, file=sys.stderr)
+        return 2
+    report = explore(
+        names, nseeds=args.seeds, shrink_failures=not args.no_shrink
+    )
+    print(report.render())
+    if args.report:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2, sort_keys=True)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

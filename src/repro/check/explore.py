@@ -1,0 +1,285 @@
+"""The schedule explorer: seeded perturbation with shrinking.
+
+One deterministic run proves nothing about a protocol — the bug lives
+in the interleaving the default schedule never produces.  The explorer
+re-runs a scenario under N *seeded* scheduler perturbations (randomized
+wakeup order, enqueue placement, idle-CPU choice and run-queue
+tie-breaks — see :data:`repro.sim.engine.PERTURB_FEATURES`) and holds
+three things invariant across every run:
+
+* the run completes — no deadlock, no lost wakeup, no lockdep violation;
+* the invariant pack (:mod:`repro.check.invariants`) finds nothing;
+* the final-state fingerprint (the guest's ``out`` dict, live frame
+  count, share-group create/free balance) is identical to the
+  unperturbed baseline.  Cycle counts are *excluded* — wall-clock
+  legitimately depends on the schedule.
+
+Every failure is reproducible: the report carries the seed and the
+perturbation feature set, and :func:`shrink` greedily drops features to
+the minimal subset that still fails, so the repro is as small as the
+bug allows.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.check.invariants import run_invariants
+from repro.check.scenarios import DEFAULT_SCENARIOS, SCENARIOS, Scenario
+from repro.errors import SimulationError
+from repro.obs.lockdep import LockOrderViolation
+from repro.sim.engine import PERTURB_FEATURES
+
+
+def _canonical(value):
+    """``out`` dicts come back with tuple keys/values; make them JSON-safe."""
+    if isinstance(value, dict):
+        return {str(key): _canonical(value[key]) for key in sorted(value, key=str)}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, bytes):
+        return value.decode("latin-1")
+    return value
+
+
+class RunResult:
+    """One scenario execution under one (seed, features) choice."""
+
+    def __init__(
+        self,
+        scenario: str,
+        seed: Optional[int],
+        features: Optional[frozenset],
+        fingerprint: Optional[dict],
+        error: Optional[str],
+        error_kind: Optional[str],
+        cycles: int,
+    ):
+        self.scenario = scenario
+        self.seed = seed
+        self.features = features
+        self.fingerprint = fingerprint
+        self.error = error
+        self.error_kind = error_kind
+        self.cycles = cycles
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and not (
+            self.fingerprint and self.fingerprint.get("invariants")
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "features": sorted(self.features) if self.features is not None else None,
+            "ok": self.ok,
+            "fingerprint": self.fingerprint,
+            "error": self.error,
+            "error_kind": self.error_kind,
+            "cycles": self.cycles,
+        }
+
+
+def run_once(
+    scenario: Scenario,
+    seed: Optional[int] = None,
+    features: Optional[Iterable[str]] = None,
+    lockdep: bool = True,
+) -> RunResult:
+    """Run a scenario once; never raises, classifies what happened."""
+    feature_set = frozenset(features) if features is not None else None
+    error = error_kind = None
+    fingerprint = None
+    cycles = 0
+    try:
+        out, sim = scenario.run(seed=seed, features=features, lockdep=lockdep)
+    except LockOrderViolation as exc:
+        error, error_kind = str(exc), "lockdep"
+    except SimulationError as exc:  # includes DeadlockError (lost wakeups)
+        error, error_kind = str(exc), type(exc).__name__
+    else:
+        cycles = sim.engine.now
+        stats = sim.kernel.stats
+        fingerprint = {
+            "out": _canonical(out),
+            "frames": sim.machine.frames.allocated,
+            "group_balance": stats["groups_created"] - stats["groups_freed"],
+            "invariants": run_invariants(sim),
+        }
+        if fingerprint["invariants"]:
+            error_kind = "invariant"
+            error = "; ".join(fingerprint["invariants"])
+    return RunResult(
+        scenario.name, seed, feature_set, fingerprint, error, error_kind, cycles
+    )
+
+
+class Failure:
+    """A reproducible explorer finding."""
+
+    def __init__(
+        self,
+        scenario: str,
+        seed: int,
+        features: frozenset,
+        kind: str,
+        detail: str,
+        minimal_features: Optional[frozenset] = None,
+    ):
+        self.scenario = scenario
+        self.seed = seed
+        self.features = features
+        self.kind = kind
+        self.detail = detail
+        self.minimal_features = minimal_features
+
+    def repro_command(self) -> str:
+        features = self.minimal_features or self.features
+        return (
+            "python -m repro.check --scenario %s --seed %d --features %s"
+            % (self.scenario, self.seed, ",".join(sorted(features)))
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "features": sorted(self.features),
+            "minimal_features": sorted(self.minimal_features)
+            if self.minimal_features is not None else None,
+            "kind": self.kind,
+            "detail": self.detail,
+            "repro": self.repro_command(),
+        }
+
+    def render(self) -> str:
+        lines = [
+            "FAIL %s seed=%d kind=%s" % (self.scenario, self.seed, self.kind),
+            "  features: %s" % ",".join(sorted(self.features)),
+        ]
+        if self.minimal_features is not None:
+            lines.append(
+                "  minimal:  %s" % (",".join(sorted(self.minimal_features)) or "(none)")
+            )
+        lines.append("  repro:    %s" % self.repro_command())
+        for detail_line in self.detail.splitlines():
+            lines.append("  | " + detail_line)
+        return "\n".join(lines)
+
+
+def _judge(
+    scenario: Scenario,
+    seed: int,
+    features: frozenset,
+    baseline: RunResult,
+) -> Tuple[bool, str, str]:
+    """Run once and compare to baseline: (failed, kind, detail)."""
+    result = run_once(scenario, seed=seed, features=features)
+    if result.error is not None:
+        return True, result.error_kind or "error", result.error
+    if baseline.fingerprint is not None and result.fingerprint != baseline.fingerprint:
+        return True, "divergence", (
+            "final state differs from unperturbed baseline\n"
+            "baseline:  %r\nperturbed: %r"
+            % (baseline.fingerprint, result.fingerprint)
+        )
+    return False, "", ""
+
+
+def shrink(
+    scenario: Scenario,
+    seed: int,
+    baseline: RunResult,
+    features: frozenset = PERTURB_FEATURES,
+) -> frozenset:
+    """Greedily drop perturbation features while the failure persists."""
+    current = frozenset(features)
+    for feature in sorted(features):
+        if feature not in current:
+            continue
+        trial = current - {feature}
+        failed, _kind, _detail = _judge(scenario, seed, trial, baseline)
+        if failed:
+            current = trial
+    return current
+
+
+class ExploreReport:
+    """Everything one explorer invocation learned."""
+
+    def __init__(self, nseeds: int):
+        self.nseeds = nseeds
+        self.scenarios: List[str] = []
+        self.runs = 0
+        self.failures: List[Failure] = []
+        self.baseline_errors: List[Tuple[str, str]] = []
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.baseline_errors
+
+    def to_dict(self) -> dict:
+        return {
+            "nseeds": self.nseeds,
+            "scenarios": self.scenarios,
+            "runs": self.runs,
+            "ok": self.ok,
+            "baseline_errors": [
+                {"scenario": name, "detail": detail}
+                for name, detail in self.baseline_errors
+            ],
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "schedule explorer: %d scenario(s) x %d seed(s), %d runs"
+            % (len(self.scenarios), self.nseeds, self.runs)
+        ]
+        for name, detail in self.baseline_errors:
+            lines.append("BASELINE FAIL %s" % name)
+            lines.extend("  | " + line for line in detail.splitlines())
+        for failure in self.failures:
+            lines.append(failure.render())
+        lines.append("result: %s" % ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def explore(
+    scenario_names: Optional[Iterable[str]] = None,
+    nseeds: int = 8,
+    shrink_failures: bool = True,
+    max_failures_per_scenario: int = 3,
+) -> ExploreReport:
+    """Run each scenario unperturbed, then under ``nseeds`` seeds."""
+    names = list(scenario_names) if scenario_names else list(DEFAULT_SCENARIOS)
+    report = ExploreReport(nseeds)
+    report.scenarios = names
+    for name in names:
+        scenario = SCENARIOS[name]
+        baseline = run_once(scenario, seed=None)
+        report.runs += 1
+        if not baseline.ok:
+            detail = baseline.error
+            if detail is None and baseline.fingerprint is not None:
+                detail = "; ".join(baseline.fingerprint.get("invariants", []))
+            report.baseline_errors.append((name, detail or "unknown failure"))
+            continue
+        failures_here = 0
+        for seed in range(nseeds):
+            failed, kind, detail = _judge(scenario, seed, PERTURB_FEATURES, baseline)
+            report.runs += 1
+            if not failed:
+                continue
+            minimal = None
+            if shrink_failures:
+                minimal = shrink(scenario, seed, baseline)
+            report.failures.append(
+                Failure(name, seed, PERTURB_FEATURES, kind, detail, minimal)
+            )
+            failures_here += 1
+            if failures_here >= max_failures_per_scenario:
+                break
+    return report

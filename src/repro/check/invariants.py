@@ -1,0 +1,171 @@
+"""Cross-structure state invariants for a simulated system.
+
+Each checker inspects one relationship the kernel maintains across
+several locks and returns a list of human-readable findings (empty when
+the invariant holds).  They never mutate state and never charge cycles,
+so tests and the schedule explorer can call them after — or even during
+— a run.
+
+The three relationships, straight from the paper:
+
+* **shaddr refcounts** (section 6.1): ``s_refcnt`` counts the member
+  list, every member points back at the block, and nobody dead lingers
+  on the list.
+* **pregion vs TLB residency** (section 6.2): every cached translation
+  for a live address space must agree with what a page-table walk finds
+  *now* — a stale entry after an munmap/shrink means a missed shootdown.
+* **fd refcounts** (section 6.3): an open file's reference count equals
+  the descriptor slots naming it across all live processes plus the one
+  reference each share group's ``s_ofile`` copy holds.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.mem.frames import PAGE_SHIFT
+
+
+def _live_procs(sim) -> List:
+    return [proc for proc in sim.kernel.proc_table.all_procs() if proc.alive()]
+
+
+def _live_blocks(sim) -> List:
+    """Distinct shared address blocks reachable from live processes."""
+    blocks = []
+    seen = set()
+    for proc in _live_procs(sim):
+        block = proc.shaddr
+        if block is not None and id(block) not in seen:
+            seen.add(id(block))
+            blocks.append(block)
+    return blocks
+
+
+# ----------------------------------------------------------------------
+# shaddr: reference count vs member list
+
+def check_shaddr_refcounts(sim) -> List[str]:
+    """``s_refcnt`` == member count; membership is mutual and alive."""
+    findings = []
+    live = _live_procs(sim)
+    for block in _live_blocks(sim):
+        members = block.members()
+        if block.s_refcnt != len(members):
+            findings.append(
+                "shaddr sgid=%d: s_refcnt=%d but %d members on s_plink"
+                % (block.sgid, block.s_refcnt, len(members))
+            )
+        for member in members:
+            if member.shaddr is not block:
+                findings.append(
+                    "shaddr sgid=%d: member pid %d points at a different block"
+                    % (block.sgid, member.pid)
+                )
+            if not member.alive():
+                findings.append(
+                    "shaddr sgid=%d: member pid %d is %s (dead member on list)"
+                    % (block.sgid, member.pid, member.state.value)
+                )
+    for proc in live:
+        if proc.shaddr is not None and proc not in proc.shaddr.members():
+            findings.append(
+                "pid %d has shaddr sgid=%d but is not on its member list"
+                % (proc.pid, proc.shaddr.sgid)
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# pregion lists vs TLB residency
+
+def check_pregion_tlb(sim) -> List[str]:
+    """Every TLB entry for a live ASID must match a current translation.
+
+    Share-group members run under one ASID but each keeps a private
+    PRDA pregion at the same virtual address, so an entry is valid if
+    *any* live address space with that ASID resolves the page to a
+    resident frame with the cached pfn.  A writable entry additionally
+    requires the page to be writable now (not copy-on-write) in the
+    space that matched.  Entries for retired ASIDs are skipped: ASIDs
+    are never recycled, so they can only belong to exited processes.
+    """
+    findings = []
+    spaces: Dict[int, List] = {}
+    for proc in _live_procs(sim):
+        spaces.setdefault(proc.vm.asid, []).append(proc.vm)
+    for cpu in sim.machine.cpus:
+        for entry in cpu.tlb.entries():
+            vms = spaces.get(entry.asid)
+            if vms is None:
+                continue
+            vaddr = entry.vpn << PAGE_SHIFT
+            matched = False
+            for vm in vms:
+                pregion, _shared = vm.find(vaddr)
+                if pregion is None:
+                    continue
+                index = pregion.page_index(vaddr)
+                frame = pregion.region.pages[index]
+                if frame is None or frame.pfn != entry.pfn:
+                    continue
+                if entry.writable and not vm.writable_now(pregion, index):
+                    continue
+                matched = True
+                break
+            if not matched:
+                findings.append(
+                    "cpu%d TLB: stale entry asid=%d vpn=%#x pfn=%d%s "
+                    "(no live space maps it)"
+                    % (cpu.idx, entry.asid, entry.vpn, entry.pfn,
+                       " rw" if entry.writable else "")
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
+# fd table refcounts
+
+def check_fd_refcounts(sim) -> List[str]:
+    """Open-file refcounts equal descriptor slots plus shaddr copies."""
+    findings = []
+    expected: Dict[int, int] = {}
+    files: Dict[int, Any] = {}
+
+    def note(file) -> None:
+        if file is not None:
+            files[id(file)] = file
+            expected[id(file)] = expected.get(id(file), 0) + 1
+
+    for proc in _live_procs(sim):
+        for slot in proc.uarea.fdtable.slots:
+            note(slot)
+    for block in _live_blocks(sim):
+        for slot in block.s_ofile:
+            note(slot)
+    for key, file in sorted(files.items(), key=lambda item: item[0]):
+        want = expected[key]
+        if file.refcount != want:
+            findings.append(
+                "file %r: refcount=%d but %d references reachable "
+                "(fd slots + shaddr copies)" % (file, file.refcount, want)
+            )
+    return findings
+
+
+# ----------------------------------------------------------------------
+
+#: name -> checker, the order reports list them in
+CHECKERS = {
+    "shaddr-refcounts": check_shaddr_refcounts,
+    "pregion-tlb": check_pregion_tlb,
+    "fd-refcounts": check_fd_refcounts,
+}
+
+
+def run_invariants(sim) -> List[str]:
+    """Run every checker; returns all findings, prefixed by checker name."""
+    findings = []
+    for name, checker in CHECKERS.items():
+        findings.extend("%s: %s" % (name, finding) for finding in checker(sim))
+    return findings

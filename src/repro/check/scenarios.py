@@ -1,0 +1,242 @@
+"""Workloads the schedule explorer drives.
+
+Each scenario is a small guest program chosen to stress one of the
+paper's sharing protocols hard enough that a reordered schedule would
+expose a protocol bug — yet written so its *final* state is schedule
+independent.  The explorer runs a scenario many times under different
+seeded perturbations and demands the fingerprint (the ``out`` dict, the
+invariant pack, frame accounting) never changes.
+
+``racy-counter`` is the deliberate exception: a textbook lost-update
+race whose final count depends on the interleaving.  It is excluded
+from :data:`DEFAULT_SCENARIOS` and exists so tests can prove the
+explorer actually detects divergence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from repro.fs.file import O_CREAT, O_RDWR
+from repro.mem.frames import PAGE_SIZE
+from repro.share.mask import PR_SALL
+from repro.system import System
+
+
+class Scenario:
+    """A named guest workload bootable under any seed/perturbation."""
+
+    def __init__(self, name: str, main: Callable, ncpus: int, description: str):
+        self.name = name
+        self.main = main
+        self.ncpus = ncpus
+        self.description = description
+
+    def run(
+        self,
+        seed: Optional[int] = None,
+        features: Optional[Iterable[str]] = None,
+        lockdep: bool = True,
+    ) -> Tuple[dict, System]:
+        """Boot a fresh system, run to completion, return ``(out, sim)``."""
+        out: dict = {}
+        sim = System(
+            ncpus=self.ncpus,
+            lockdep=lockdep,
+            perturb_seed=seed,
+            perturb_features=features,
+        )
+        sim.spawn(self.main, out, name=self.name)
+        sim.run()
+        return out, sim
+
+
+# ----------------------------------------------------------------------
+# fault-storm: concurrent scans of one shared region (section 6.2)
+
+_FS_PAGES = 12
+_FS_PROCS = 4
+
+
+def _fault_storm_member(api, arg):
+    base, acc = arg
+    for index in range(_FS_PAGES):
+        vaddr = base + index * PAGE_SIZE
+        value = yield from api.load_word(vaddr)
+        yield from api.store_word(vaddr, value)  # idempotent dirtying
+        yield from api.fetch_add(acc, value)
+        if index % 4 == 3:
+            yield from api.yield_cpu()
+    return 0
+
+
+def _fault_storm_main(api, out):
+    base = yield from api.mmap((_FS_PAGES + 1) * PAGE_SIZE)
+    acc = base + _FS_PAGES * PAGE_SIZE
+    for index in range(_FS_PAGES):
+        yield from api.store_word(base + index * PAGE_SIZE, index + 1)
+    for _ in range(_FS_PROCS):
+        yield from api.sproc(_fault_storm_member, PR_SALL, (base, acc))
+    for _ in range(_FS_PROCS):
+        yield from api.wait()
+    out["acc"] = yield from api.load_word(acc)
+    out["expected"] = _FS_PROCS * sum(range(1, _FS_PAGES + 1))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# fd-churn: descriptor updates through s_fupdsema (section 6.3)
+
+_FD_MESSAGES = 8
+_FD_MSG = b"8 bytes."
+
+
+def _fd_reader(api, arg):
+    # Reads an exact byte count rather than waiting for EOF: a member
+    # asleep in read() cannot resync its descriptor table, so it would
+    # itself keep the write end referenced and the EOF pending.
+    out, rfd = arg
+    expected = _FD_MESSAGES * len(_FD_MSG)
+    total = 0
+    while total < expected:
+        chunk = yield from api.read(rfd, 16)
+        total += len(chunk)
+    yield from api.close(rfd)
+    out["bytes"] = total
+    return 0
+
+
+def _fd_writer(api, arg):
+    wfd = arg
+    for _ in range(_FD_MESSAGES):
+        yield from api.write(wfd, _FD_MSG)
+        yield from api.yield_cpu()
+    yield from api.close(wfd)
+    return 0
+
+
+def _fd_churner(api, arg):
+    index = arg
+    for round_no in range(6):
+        fd = yield from api.open(
+            "/churn-%d-%d" % (index, round_no), O_RDWR | O_CREAT
+        )
+        dup = yield from api.dup(fd)
+        yield from api.write(dup, b"x")
+        yield from api.close(dup)
+        yield from api.close(fd)
+    return 0
+
+
+def _fd_churn_main(api, out):
+    rfd, wfd = yield from api.pipe()
+    yield from api.sproc(_fd_reader, PR_SALL, (out, rfd))
+    yield from api.sproc(_fd_writer, PR_SALL, wfd)
+    yield from api.sproc(_fd_churner, PR_SALL, 0)
+    yield from api.sproc(_fd_churner, PR_SALL, 1)
+    for _ in range(4):
+        yield from api.wait()
+    out["expected"] = _FD_MESSAGES * len(_FD_MSG)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# mmap-churn: shared pregion list updates + TLB shootdowns (section 6.2)
+
+_MC_PROCS = 3
+_MC_ROUNDS = 4
+
+
+def _mmap_churner(api, arg):
+    out, index = arg
+    total = 0
+    for round_no in range(_MC_ROUNDS):
+        base = yield from api.mmap(2 * PAGE_SIZE)
+        yield from api.store_word(base, index * 1000 + round_no)
+        yield from api.store_word(base + PAGE_SIZE, round_no)
+        total += yield from api.load_word(base)
+        total += yield from api.load_word(base + PAGE_SIZE)
+        yield from api.munmap(base)
+        yield from api.yield_cpu()
+    out["member-%d" % index] = total
+    return 0
+
+
+def _mmap_faulter(api, arg):
+    out, base, npages = arg
+    total = 0
+    for _round in range(3):
+        for index in range(npages):
+            total += yield from api.load_word(base + index * PAGE_SIZE)
+        yield from api.yield_cpu()
+    out["faulter"] = total
+    return 0
+
+
+def _mmap_churn_main(api, out):
+    npages = 6
+    base = yield from api.mmap(npages * PAGE_SIZE)
+    for index in range(npages):
+        yield from api.store_word(base + index * PAGE_SIZE, 10 + index)
+    for index in range(_MC_PROCS):
+        yield from api.sproc(_mmap_churner, PR_SALL, (out, index))
+    yield from api.sproc(_mmap_faulter, PR_SALL, (out, base, npages))
+    for _ in range(_MC_PROCS + 1):
+        yield from api.wait()
+    return 0
+
+
+# ----------------------------------------------------------------------
+# racy-counter: a deliberate lost-update race (test fixture)
+
+_RC_PROCS = 4
+_RC_ROUNDS = 10
+
+
+def _racy_member(api, base):
+    for _round in range(_RC_ROUNDS):
+        value = yield from api.load_word(base)
+        yield from api.compute(120)
+        yield from api.store_word(base, value + 1)
+        yield from api.yield_cpu()
+    return 0
+
+
+def _racy_counter_main(api, out):
+    base = yield from api.mmap(PAGE_SIZE)
+    for _ in range(_RC_PROCS):
+        yield from api.sproc(_racy_member, PR_SALL, base)
+    for _ in range(_RC_PROCS):
+        yield from api.wait()
+    out["count"] = yield from api.load_word(base)
+    return 0
+
+
+# ----------------------------------------------------------------------
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "fault-storm", _fault_storm_main, 4,
+            "%d members scan one shared region under the shared read lock"
+            % _FS_PROCS,
+        ),
+        Scenario(
+            "fd-churn", _fd_churn_main, 2,
+            "pipe traffic plus open/dup/close churn through s_fupdsema",
+        ),
+        Scenario(
+            "mmap-churn", _mmap_churn_main, 4,
+            "members mmap/munmap private windows while a faulter rescans",
+        ),
+        Scenario(
+            "racy-counter", _racy_counter_main, 2,
+            "deliberate lost-update race; final count is schedule-dependent",
+        ),
+    )
+}
+
+#: the scenarios ``python -m repro.check`` explores by default —
+#: everything whose final state must be schedule independent
+DEFAULT_SCENARIOS = ("fault-storm", "fd-churn", "mmap-churn")

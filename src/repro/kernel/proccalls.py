@@ -35,6 +35,7 @@ from repro.share import prctl as prctl_mod
 from repro.share import sproc as sproc_mod
 from repro.share import vmshare
 from repro.share.mask import PR_SADDR
+from repro.sim.effects import ExecImage as _ExecTaken
 from repro.sim.effects import kdelay
 from repro.sync.semaphore import Semaphore
 
@@ -59,9 +60,6 @@ def status_code(status: int) -> int:
 
 def status_signal(status: int) -> int:
     return status & 0x7F
-
-
-from repro.sim.effects import ExecImage as _ExecTaken
 
 
 class ProcSyscalls:

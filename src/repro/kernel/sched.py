@@ -144,6 +144,22 @@ class Scheduler:
         self._enqueue(proc)
 
     def _enqueue(self, proc: Proc) -> None:
+        engine = self.machine.engine
+        if engine.perturbs("enqueue"):
+            # Schedule exploration: any queue within the affinity slack
+            # of the shallowest is a legal home — let the seeded RNG
+            # pick among them instead of always preferring last_cpu.
+            shallowest = min(len(q) for q in self._queues)
+            candidates = [
+                q for q in self._queues
+                if len(q) <= shallowest + AFFINITY_SLACK
+            ]
+            queue = engine.rng.choice(candidates)
+            self._seq += 1
+            queue.push(proc, self._seq)
+            self._where[proc.pid] = queue
+            self.machine.kstat.set("cpu", queue.idx, "runq_depth", len(queue))
+            return
         home = proc.last_cpu
         queue = None
         if home is not None:
@@ -240,7 +256,13 @@ class Scheduler:
         return best
 
     def _select(self) -> Optional[Proc]:
-        """Globally-best queued process, by (priority, enqueue order)."""
+        """Globally-best queued process, by (priority, enqueue order).
+
+        Under seeded perturbation, FIFO order *within* the best priority
+        class is not load-bearing: the RNG picks any best-priority head
+        (a legal steal tie-break), which is how the schedule explorer
+        varies who gets stolen first.
+        """
         self.picks += 1
         best = None
         best_key = None
@@ -252,6 +274,14 @@ class Scheduler:
             pri, seq, proc = head
             if best is None or (pri, seq) < best_key:
                 best, best_key = proc, (pri, seq)
+        engine = self.machine.engine
+        if best is not None and engine.perturbs("select"):
+            heads = [
+                head[2] for head in (queue.peek() for queue in self._queues)
+                if head is not None and head[0] == best.pri
+            ]
+            if len(heads) > 1:
+                return engine.rng.choice(heads)
         return best
 
     def _place(self, proc: Proc) -> None:
@@ -277,7 +307,11 @@ class Scheduler:
 
     def _choose_cpu(self, proc: Proc, queue: RunQueue):
         """Best idle CPU for ``proc``: its queue's owner, then last_cpu,
-        then whichever went idle first."""
+        then whichever went idle first.  Under seeded perturbation any
+        idle CPU is a legal placement (an affinity tie-break)."""
+        engine = self.machine.engine
+        if len(self._idle) > 1 and engine.perturbs("place"):
+            return engine.rng.choice(self._idle)
         for cpu in self._idle:
             if cpu.idx == queue.idx:
                 return cpu

@@ -8,6 +8,8 @@ against.  Three layers, all host-side and all free of simulated cycles:
   ``kstat`` idea);
 * :mod:`repro.obs.lockstat` — acquisition/contention/hold accounting
   for every named kernel lock, with a top-N contended report;
+* :mod:`repro.obs.lockdep` — lock-order/deadlock checking over the same
+  primitives (off by default; ``System(lockdep=True)``);
 * :mod:`repro.obs.procfs` — ``/proc``-style text tables rendered from a
   live :class:`~repro.system.System` (``System.report()``).
 
@@ -17,13 +19,18 @@ determinism of collected values as invariants.
 """
 
 from repro.obs.kstat import Histogram, KstatRegistry
+from repro.obs.lockdep import NULL_LOCKDEP, LockDep, LockOrderViolation, lock_class
 from repro.obs.lockstat import LockStat, LockStatRegistry
 from repro.obs.procfs import render_system
 
 __all__ = [
     "Histogram",
     "KstatRegistry",
+    "LockDep",
+    "LockOrderViolation",
     "LockStat",
     "LockStatRegistry",
+    "NULL_LOCKDEP",
+    "lock_class",
     "render_system",
 ]

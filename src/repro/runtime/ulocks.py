@@ -21,15 +21,21 @@ class USpinLock:
     pathology experiment E12's gang scheduling addresses.
     """
 
-    def __init__(self, vaddr: int, spins_before_yield: int = 64):
+    def __init__(self, vaddr: int, spins_before_yield: int = 64, name=None):
         self.vaddr = vaddr
         self.spins_before_yield = spins_before_yield
+        self.name = name if name is not None else "uspin@%#x" % vaddr
+
+    def _lockdep(self, api):
+        return api.kernel.machine.lockdep
 
     def acquire(self, api):
         """Generator: spin until the lock is ours."""
+        self._lockdep(api).attempt(self, api.proc, "uspin")
         while True:
             observed = yield from api.cas(self.vaddr, 0, 1)
             if observed == 0:
+                self._lockdep(api).acquired(self, api.proc, "uspin")
                 return
             polls = 0
             while True:
@@ -44,10 +50,16 @@ class USpinLock:
     def try_acquire(self, api):
         """Generator: one attempt; returns True on success."""
         observed = yield from api.cas(self.vaddr, 0, 1)
-        return observed == 0
+        if observed == 0:
+            lockdep = self._lockdep(api)
+            lockdep.attempt(self, api.proc, "uspin")
+            lockdep.acquired(self, api.proc, "uspin")
+            return True
+        return False
 
     def release(self, api):
         """Generator: free the lock (a single store)."""
+        self._lockdep(api).released(self, api.proc)
         yield from api.store_word(self.vaddr, 0)
 
 

@@ -11,6 +11,8 @@ holds the lock; ``0`` free; ``n > 0`` means ``n`` readers.
 
 from __future__ import annotations
 
+from repro.errors import SimulationError
+
 _WRITER = 0xFFFFFFFF
 
 
@@ -26,6 +28,9 @@ class URWLock:
     def _stats(self, api):
         return api.kernel.machine.lockstats.get(self.name)
 
+    def _lockdep(self, api):
+        return api.kernel.machine.lockdep
+
     def _backoff(self, api, polls: int):
         if polls and polls % self.spins_before_yield == 0:
             yield from api.yield_cpu()
@@ -34,6 +39,7 @@ class URWLock:
         """Generator: join the readers (spins out any writer)."""
         entered = api.now
         polls = 0
+        self._lockdep(api).attempt(self, api.proc, "read")
         while True:
             value = yield from api.load_word(self.vaddr)
             if value != _WRITER:
@@ -42,6 +48,7 @@ class URWLock:
                     self._stats(api).record_acquire(
                         api.now - entered, polls > 0
                     )
+                    self._lockdep(api).acquired(self, api.proc, "read")
                     return
             polls += 1
             yield from self._backoff(api, polls)
@@ -50,26 +57,46 @@ class URWLock:
         """Generator: leave the readers."""
         while True:
             value = yield from api.load_word(self.vaddr)
+            if value == 0 or value == _WRITER:
+                # A decrement here would underflow the free word into
+                # the writer sentinel (0 - 1 == 0xFFFFFFFF): the word
+                # would read as write-locked forever.
+                raise SimulationError(
+                    "release_read on %s with no readers (word=%#x)"
+                    % (self.name, value)
+                )
             observed = yield from api.cas(self.vaddr, value, value - 1)
             if observed == value:
+                self._lockdep(api).released(self, api.proc)
                 return
 
     def acquire_write(self, api):
         """Generator: wait until free, then take exclusively."""
         entered = api.now
         polls = 0
+        self._lockdep(api).attempt(self, api.proc, "write")
         while True:
             observed = yield from api.cas(self.vaddr, 0, _WRITER)
             if observed == 0:
                 self._stats(api).record_acquire(api.now - entered, polls > 0)
                 self._write_since = api.now
+                self._lockdep(api).acquired(self, api.proc, "write")
                 return
             polls += 1
             yield from self._backoff(api, polls)
 
     def release_write(self, api):
         """Generator: drop exclusivity."""
+        value = yield from api.load_word(self.vaddr)
+        if value != _WRITER:
+            # Storing 0 anyway would silently free a lock some reader
+            # holds (or double-free a free one).
+            raise SimulationError(
+                "release_write on %s not write-held (word=%#x)"
+                % (self.name, value)
+            )
         self._stats(api).record_hold(api.now - self._write_since)
+        self._lockdep(api).released(self, api.proc)
         yield from api.store_word(self.vaddr, 0)
 
     def readers(self, api):

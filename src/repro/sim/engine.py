@@ -9,14 +9,28 @@ Determinism is load-bearing for the whole reproduction: events that fire
 at the same cycle are ordered by a monotonically increasing sequence
 number, so a given workload always interleaves the same way and every
 test and benchmark is exactly reproducible.
+
+Seeded *perturbation* preserves that property while exploring other
+legal histories: an engine built with ``seed=N`` carries a private
+``random.Random(N)`` that the scheduler and wakeup paths consult to
+break ties they would otherwise break by FIFO/index order.  The same
+seed always yields the same interleaving, so every schedule the
+explorer (:mod:`repro.check.explore`) visits is exactly reproducible
+from its seed.  ``perturb`` names which tie-break sites may consult the
+RNG (used by the explorer's shrinker); with no seed, ``rng`` is ``None``
+and every call site takes its deterministic default path.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+import random
+from typing import Callable, Iterable, List, Optional
 
 from repro.errors import SimulationError
+
+#: every tie-break site the perturbation RNG may be consulted from
+PERTURB_FEATURES = frozenset({"wakeup", "enqueue", "place", "select"})
 
 
 class Event:
@@ -55,12 +69,30 @@ class Engine:
     [10]
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        perturb: Optional[Iterable[str]] = None,
+    ) -> None:
         self.now: int = 0
         self._queue: List[Event] = []
         self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
+        self.seed = seed
+        self.rng = random.Random(seed) if seed is not None else None
+        self.perturb = (
+            frozenset(perturb) if perturb is not None else PERTURB_FEATURES
+        )
+        unknown = self.perturb - PERTURB_FEATURES
+        if unknown:
+            raise SimulationError(
+                "unknown perturbation feature(s): %s" % ", ".join(sorted(unknown))
+            )
+
+    def perturbs(self, feature: str) -> bool:
+        """May the ``feature`` tie-break site consult the RNG?"""
+        return self.rng is not None and feature in self.perturb
 
     # ------------------------------------------------------------------
     # scheduling

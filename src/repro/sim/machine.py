@@ -8,10 +8,11 @@ machine and wires itself into every CPU at boot.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterable, List, Optional
 
 from repro.mem.frames import FrameAllocator, PAGE_SIZE
 from repro.obs.kstat import KstatRegistry
+from repro.obs.lockdep import LockDep, NULL_LOCKDEP
 from repro.obs.lockstat import LockStatRegistry
 from repro.sim.costs import CostModel, default_costs
 from repro.sim.cpu import CPU
@@ -28,10 +29,13 @@ class Machine:
         costs: Optional[CostModel] = None,
         tlb_capacity: int = 64,
         metrics_enabled: bool = True,
+        lockdep_enabled: bool = False,
+        seed: Optional[int] = None,
+        perturb: Optional[Iterable[str]] = None,
     ):
         if ncpus <= 0:
             raise ValueError("need at least one CPU")
-        self.engine = Engine()
+        self.engine = Engine(seed=seed, perturb=perturb)
         self.costs = costs if costs is not None else default_costs()
         self.costs.validate()
         self.frames = FrameAllocator(memory_bytes // PAGE_SIZE)
@@ -40,6 +44,7 @@ class Machine:
         # host-side and charges no simulated cycles.
         self.kstat = KstatRegistry(enabled=metrics_enabled)
         self.lockstats = LockStatRegistry(enabled=metrics_enabled)
+        self.lockdep = LockDep(self) if lockdep_enabled else NULL_LOCKDEP
         self.cpus: List[CPU] = [CPU(i, self, tlb_capacity) for i in range(ncpus)]
         self._next_asid = 0
         self.shootdowns = 0

@@ -44,6 +44,7 @@ class Semaphore:
         self.sleeps = 0
         self.wakeups = 0
         self._stats = machine.lockstats.get(name)
+        self._lockdep = machine.lockdep
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Semaphore %s v=%d w=%d>" % (self.name, self._value, len(self._waiters))
@@ -56,6 +57,7 @@ class Semaphore:
         Returns ``True`` normally, ``False`` if the sleep was interrupted
         by a signal (only possible when ``interruptible``).
         """
+        self._lockdep.attempt(self, proc, "sema")
         yield kdelay(self.costs.sema_op)
         if self._value > 0:
             self._value -= 1
@@ -65,6 +67,7 @@ class Semaphore:
             # A signal arrived on our way in (classic sleep()-with-PCATCH
             # check): interrupt rather than sleep past it.
             return False
+        self._lockdep.sleeping(proc, "P(%s)" % self.name)
         self._waiters.append(proc)
         proc.sleeping_on = self
         proc.sleep_interruptible = interruptible
@@ -89,9 +92,21 @@ class Semaphore:
         return False
 
     def v(self) -> None:
-        """Increment; hand the unit straight to the longest waiter."""
+        """Increment; hand the unit straight to the longest waiter.
+
+        Under seeded perturbation (``Engine(seed=...)``, the schedule
+        explorer) the unit goes to a *random* waiter instead: any waiter
+        is a legal recipient, and varying the choice explores wakeup
+        orders the FIFO default would never produce.
+        """
         if self._waiters:
-            proc = self._waiters.popleft()
+            engine = self.machine.engine
+            if len(self._waiters) > 1 and engine.perturbs("wakeup"):
+                index = engine.rng.randrange(len(self._waiters))
+                proc = self._waiters[index]
+                del self._waiters[index]
+            else:
+                proc = self._waiters.popleft()
             proc.sleeping_on = None
             proc.resume_value = None
             self.wakeups += 1

@@ -36,8 +36,12 @@ class SharedReadLock:
         self.update_blocks = 0
         self._rd_stats = machine.lockstats.get(name + ".read")
         self._upd_stats = machine.lockstats.get(name + ".update")
-        self._rd_since = {}  #: id(proc) -> cycle the read side was granted
+        self._lockdep = machine.lockdep
+        #: id(proc) -> stack of grant cycles; the owner record for the
+        #: read side (a releaser absent from this map never acquired)
+        self._rd_since = {}
         self._upd_since = 0
+        self._upd_owner = None  #: id(proc) of the current exclusive holder
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<SharedReadLock %s acccnt=%d wait=%d>" % (
@@ -51,34 +55,47 @@ class SharedReadLock:
         """Generator: join the scanners, sleeping out any update."""
         entered = self.machine.engine.now
         blocked = False
+        self._lockdep.attempt(self, proc, "read")
         yield from self._acclck.acquire(proc)
         while self._acccnt < 0:
             self._waitcnt += 1
             self.read_blocks += 1
             blocked = True
-            self._acclck.release()
+            self._acclck.release(proc)
             yield from self._updwait.p(proc)
             yield from self._acclck.acquire(proc)
         self._acccnt += 1
         self.read_acquires += 1
         now = self.machine.engine.now
         self._rd_stats.record_acquire(now - entered, blocked)
-        self._rd_since[id(proc)] = now
-        self._acclck.release()
+        self._rd_since.setdefault(id(proc), []).append(now)
+        self._lockdep.acquired(self, proc, "read")
+        self._acclck.release(proc)
 
     def release_read(self, proc):
         """Generator: leave the scanners; wake waiters when last out."""
         yield from self._acclck.acquire(proc)
         if self._acccnt <= 0:
-            self._acclck.release()
+            self._acclck.release(proc)
             raise SimulationError("release_read with no readers on %s" % self.name)
+        grants = self._rd_since.get(id(proc))
+        if not grants:
+            # Somebody else's read grant would be consumed: the classic
+            # unbalanced-unlock bug the owner record exists to catch.
+            self._acclck.release(proc)
+            raise SimulationError(
+                "release_read on %s by pid %s, which holds no read lock"
+                % (self.name, getattr(proc, "pid", "?"))
+            )
         self._acccnt -= 1
-        since = self._rd_since.pop(id(proc), None)
-        if since is not None:
-            self._rd_stats.record_hold(self.machine.engine.now - since)
+        since = grants.pop()
+        if not grants:
+            del self._rd_since[id(proc)]
+        self._rd_stats.record_hold(self.machine.engine.now - since)
+        self._lockdep.released(self, proc)
         if self._acccnt == 0:
             self._broadcast()
-        self._acclck.release()
+        self._acclck.release(proc)
 
     # ------------------------------------------------------------------
     # update side
@@ -96,6 +113,7 @@ class SharedReadLock:
         statistics (the E4 ablation takes it for reads too)."""
         entered = self.machine.engine.now
         blocked = False
+        self._lockdep.attempt(self, proc, "update")
         yield from self._acclck.acquire(proc)
         while self._acccnt != 0:
             self._waitcnt += 1
@@ -104,7 +122,7 @@ class SharedReadLock:
             else:
                 self.read_blocks += 1
             blocked = True
-            self._acclck.release()
+            self._acclck.release(proc)
             yield from self._updwait.p(proc)
             yield from self._acclck.acquire(proc)
         self._acccnt = -1
@@ -116,21 +134,31 @@ class SharedReadLock:
             self.read_acquires += 1
             self._rd_stats.record_acquire(now - entered, blocked)
         self._upd_since = now
-        self._acclck.release()
+        self._upd_owner = id(proc)
+        self._lockdep.acquired(self, proc, "update")
+        self._acclck.release(proc)
 
     def _release_exclusive(self, proc, update_side: bool):
         yield from self._acclck.acquire(proc)
         if self._acccnt != -1:
-            self._acclck.release()
+            self._acclck.release(proc)
             raise SimulationError("release_update without update on %s" % self.name)
+        if self._upd_owner != id(proc):
+            self._acclck.release(proc)
+            raise SimulationError(
+                "release_update on %s by pid %s, which is not the updater"
+                % (self.name, getattr(proc, "pid", "?"))
+            )
         self._acccnt = 0
+        self._upd_owner = None
         held = self.machine.engine.now - self._upd_since
         if update_side:
             self._upd_stats.record_hold(held)
         else:
             self._rd_stats.record_hold(held)
+        self._lockdep.released(self, proc)
         self._broadcast()
-        self._acclck.release()
+        self._acclck.release(proc)
 
     # ------------------------------------------------------------------
 

@@ -25,6 +25,7 @@ class SpinLock:
         self.acquisitions = 0
         self.contended_polls = 0
         self._stats = machine.lockstats.get(name)
+        self._lockdep = machine.lockdep
         self._acquired_at = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -33,6 +34,7 @@ class SpinLock:
 
     def acquire(self, proc=None):
         """Generator: spin until the lock is ours."""
+        self._lockdep.attempt(self, proc, "spin")
         yield kdelay(self.costs.spin_acquire)
         spun_from = self.machine.engine.now
         polls = 0
@@ -44,6 +46,7 @@ class SpinLock:
         self.owner = proc
         self.acquisitions += 1
         self._acquired_at = self.machine.engine.now
+        self._lockdep.acquired(self, proc, "spin")
         self._stats.record_acquire(
             self.machine.engine.now - spun_from, polls > 0
         )
@@ -52,16 +55,21 @@ class SpinLock:
         """Non-blocking attempt (no cycles charged; callers charge)."""
         if self._held:
             return False
+        self._lockdep.attempt(self, proc, "spin")
         self._held = True
         self.owner = proc
         self.acquisitions += 1
         self._acquired_at = self.machine.engine.now
+        self._lockdep.acquired(self, proc, "spin")
         self._stats.record_acquire(0, False)
         return True
 
-    def release(self) -> None:
+    def release(self, proc=None) -> None:
+        """Free the lock.  ``proc`` is optional; when given, lockdep can
+        verify the releaser actually owns the lock."""
         if not self._held:
             raise SimulationError("release of free spinlock %s" % self.name)
+        self._lockdep.released(self, proc)
         self._held = False
         self.owner = None
         self._stats.record_hold(self.machine.engine.now - self._acquired_at)

@@ -24,7 +24,7 @@ instrumentation and costs no simulated cycles.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.errors import DeadlockError
 from repro.kernel.kernel import Kernel, ProgramImage
@@ -48,6 +48,9 @@ class System:
         vm_lock_factory=SharedReadLock,
         metrics_enabled: bool = True,
         scheduler="percpu",
+        lockdep: bool = False,
+        perturb_seed: Optional[int] = None,
+        perturb_features: Optional[Iterable[str]] = None,
     ):
         self.machine = Machine(
             ncpus=ncpus,
@@ -55,6 +58,9 @@ class System:
             costs=costs,
             tlb_capacity=tlb_capacity,
             metrics_enabled=metrics_enabled,
+            lockdep_enabled=lockdep,
+            seed=perturb_seed,
+            perturb=perturb_features,
         )
         self.kernel = Kernel(
             self.machine,
@@ -138,6 +144,11 @@ class System:
     def lockstats(self):
         """The machine's lock-contention profile registry."""
         return self.machine.lockstats
+
+    @property
+    def lockdep(self):
+        """The machine's lock dependency checker (NULL_LOCKDEP when off)."""
+        return self.machine.lockdep
 
     def metrics(self) -> dict:
         """A plain-dict snapshot of every counter, gauge and histogram.

@@ -6,7 +6,7 @@ from repro.errors import SimulationError
 from repro.mem import layout
 from repro.mem.addrspace import AddressSpace, Fault, SharedVM
 from repro.mem.frames import PAGE_SIZE
-from repro.mem.pregion import Growth, PROT_READ, PROT_RW
+from repro.mem.pregion import PROT_READ, PROT_RW
 from repro.mem.region import RegionType
 from repro.sim.machine import Machine
 

@@ -2,7 +2,6 @@
 
 import inspect
 
-import pytest
 
 import repro
 from repro.kernel.syscalls import UserAPI

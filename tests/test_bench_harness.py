@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.bench.harness import Claim, ExperimentResult, mean, ratio
+from repro.bench.harness import ExperimentResult, mean, ratio
 
 
 def make_result():

@@ -1,8 +1,7 @@
 """blockproc/unblockproc and whole-group block (section 8 extension)."""
 
-import pytest
 
-from repro import PR_SALL, System, status_code
+from repro import PR_SALL, status_code
 from repro.errors import ESRCH
 from repro.share.prctl import PR_BLOCKGRP, PR_UNBLKGRP
 from tests.conftest import run_program

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PR_SALL, SIGUSR1, System, status_code
+from repro import SIGUSR1, System, status_code
 from repro.sim.costs import CostModel
 from tests.conftest import run_program
 

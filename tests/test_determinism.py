@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro import PR_SALL, System
+from repro import PR_SALL
 from repro.sim.costs import CostModel
 from tests.conftest import run_program
 
 
 def _mixed_workload(api, out):
-    from repro.runtime import USpinLock, WorkQueue
+    from repro.runtime import WorkQueue
 
     queue = yield from WorkQueue.create(api, 32)
     base = yield from api.mmap(4096)

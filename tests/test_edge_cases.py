@@ -12,7 +12,7 @@ from repro import (
     status_code,
     status_signal,
 )
-from repro.errors import E2BIG, EBADF, EFAULT, EINTR, EMFILE, ENOMEM
+from repro.errors import E2BIG, EBADF, EFAULT, EINTR, EMFILE
 from repro.fs.fdtable import NOFILE
 from tests.conftest import run_program
 

@@ -3,18 +3,14 @@ selective region sharing, exec-keeping-the-group, group priority,
 gang scheduling hint, stop-sharing, plus the /dev devices and alarm().
 """
 
-import pytest
 
 from repro import (
     O_CREAT,
     O_RDONLY,
     O_RDWR,
-    O_WRONLY,
     PR_GETNSHARE,
-    PR_SADDR,
     PR_SALL,
     PR_SETGANG,
-    PR_UNSHARE,
     SEEK_SET,
     System,
     status_code,

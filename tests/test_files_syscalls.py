@@ -1,6 +1,5 @@
 """File system calls: open/read/write/seek/dup/pipe and friends."""
 
-import pytest
 
 from repro import (
     O_APPEND,
@@ -13,9 +12,7 @@ from repro import (
     SEEK_CUR,
     SEEK_END,
     SEEK_SET,
-    System,
-    status_code,
-)
+    )
 from repro.errors import (
     EACCES,
     EBADF,

@@ -1,8 +1,7 @@
 """link, ftruncate, readdir, and /dev interactions."""
 
-import pytest
 
-from repro import O_CREAT, O_RDONLY, O_RDWR, SEEK_SET, System
+from repro import O_CREAT, O_RDONLY, O_RDWR, SEEK_SET
 from repro.errors import EEXIST, EINVAL, EISDIR, ENOENT
 from tests.conftest import run_program
 

@@ -6,7 +6,6 @@ This exercises the shared read lock, the sync-on-entry protocol and the
 sharing teardown paths under arbitrary interleavings.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import O_CREAT, O_RDWR, PR_SALL, System

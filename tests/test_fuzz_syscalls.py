@@ -7,13 +7,10 @@ frame leaks beyond the live processes' footprints, no TLB entries into
 freed frames, semaphores quiescent, zero live non-zombie processes.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import O_CREAT, O_RDWR, PR_SALL, System
-from repro.errors import SimulationError
 from repro.mem.frames import PAGE_SIZE
-from tests.conftest import run_program
 
 
 OPS = st.sampled_from([

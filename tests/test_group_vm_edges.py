@@ -1,11 +1,9 @@
 """Share-group VM edges: stack ceilings, group-visible shm, exec/last-member,
 updater progress under scanning."""
 
-import pytest
 
 from repro import (
     IPC_CREAT,
-    IPC_PRIVATE,
     PR_SALL,
     PR_SETSTACKSIZE,
     SIGSEGV,

@@ -1,8 +1,7 @@
 """System V IPC: shared memory, semaphores, message queues."""
 
-import pytest
 
-from repro import IPC_CREAT, IPC_EXCL, IPC_PRIVATE, System, status_code
+from repro import IPC_CREAT, IPC_EXCL, IPC_PRIVATE
 from repro.errors import EEXIST, EINVAL, ENOENT
 from tests.conftest import run_program
 

@@ -1,7 +1,6 @@
 """Remaining kernel corners: priority preemption, multi-resource sync,
 signal ordering, page-crossing guest I/O, dup2 propagation."""
 
-import pytest
 
 from repro import (
     O_CREAT,
@@ -11,9 +10,7 @@ from repro import (
     SIGHUP,
     SIGUSR1,
     SIGUSR2,
-    System,
-    status_code,
-)
+    )
 from repro.mem.frames import PAGE_SIZE
 from tests.conftest import run_program
 

@@ -5,7 +5,6 @@ safety invariants that must hold in *every* schedule, not just the ones
 the deterministic workloads happen to produce.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import PR_SALL, System
@@ -14,7 +13,6 @@ from repro.sim.costs import CostModel
 from repro.sim.machine import Machine
 from repro.sync.sharedlock import SharedReadLock
 from repro.workloads import generators as gen
-from tests.conftest import run_program
 
 
 # ----------------------------------------------------------------------
@@ -66,7 +64,7 @@ def _stepper(lock, proc, kind, in_critical, log):
 )
 def test_sharedlock_safety_under_random_schedules(kinds, schedule):
     """In no interleaving may an updater overlap anyone else."""
-    from repro.sim.effects import Block, Delay
+    from repro.sim.effects import Block
 
     machine = Machine(ncpus=1)
     lock = SharedReadLock(machine, _Waker())

@@ -1,6 +1,5 @@
 """Process lifecycle: fork, wait, exit codes, orphans, exec, sbrk."""
 
-import pytest
 
 from repro import (
     PR_GETSTACKSIZE,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import System, status_code
+from repro import System
 from repro.kernel.kernel import DEFAULT_DATA, DEFAULT_TEXT, ProgramImage
 from repro.mem import layout
 from repro.mem.region import RegionType

@@ -1,6 +1,5 @@
 """Property-based tests on core data structures and invariants."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.kernel.signals import NSIG, PendingSet, SIGKILL
@@ -11,9 +10,7 @@ from repro.mem.pregion import PROT_RW
 from repro.mem.region import Region, RegionType
 from repro.share.mask import (
     PR_PRIVDATA,
-    PR_SADDR,
     PR_SALL,
-    PR_SFDS,
     inherit_mask,
 )
 from repro.sim.machine import Machine

@@ -1,8 +1,7 @@
 """User-level runtime: spinlocks, barriers, arena, work queue, aio."""
 
-import pytest
 
-from repro import O_CREAT, O_RDWR, PR_SALL, System, status_code
+from repro import O_CREAT, O_RDWR, PR_SALL, status_code
 from repro.runtime import AioRing, Arena, UBarrier, UCounter, USpinLock, WorkQueue
 from tests.conftest import run_program
 

@@ -1,6 +1,5 @@
 """End-to-end scenarios: multi-program applications on the full system."""
 
-import pytest
 
 from repro import (
     O_CREAT,
@@ -8,7 +7,6 @@ from repro import (
     O_RDWR,
     O_WRONLY,
     PR_SALL,
-    SEEK_SET,
     System,
     status_code,
 )

@@ -3,7 +3,7 @@ quantum slicing, priorities, gang mode, per-CPU queues."""
 
 import pytest
 
-from repro import PR_SALL, PR_SETGANG, System, status_code
+from repro import PR_SALL, PR_SETGANG, System
 from repro.kernel.proc import Proc, ProcState
 from tests.conftest import run_program
 

@@ -7,7 +7,7 @@ the published layout.
 
 import pytest
 
-from repro import O_CREAT, O_RDWR, PR_SALL, System
+from repro import O_CREAT, O_RDWR, PR_SALL
 from repro.share.shaddr import SharedAddressBlock
 from repro.sync.semaphore import Semaphore
 from repro.sync.sharedlock import SharedReadLock

@@ -4,7 +4,6 @@ Each test pins down a behaviour stated in the paper — section references
 in the docstrings.
 """
 
-import pytest
 
 from repro import (
     O_CREAT,
@@ -13,11 +12,7 @@ from repro import (
     PR_GETSHMASK,
     PR_SADDR,
     PR_SALL,
-    PR_SDIR,
     PR_SFDS,
-    PR_SID,
-    PR_SULIMIT,
-    PR_SUMASK,
     PR_UNSHARE,
     SEEK_SET,
     System,

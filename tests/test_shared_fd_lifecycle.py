@@ -7,9 +7,8 @@ bug where ``s_ofile``'s refresh dropped final references with a bare
 ``release()`` and a pipe reader waited for an EOF that never came.
 """
 
-import pytest
 
-from repro import O_CREAT, O_RDWR, PR_SALL, PR_SFDS, System, status_code
+from repro import O_CREAT, O_RDWR, PR_SALL, status_code
 from tests.conftest import run_program
 
 

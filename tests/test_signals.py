@@ -1,6 +1,5 @@
 """Signals: handlers, defaults, EINTR, uncatchable SIGKILL."""
 
-import pytest
 
 from repro import (
     SIG_DFL,
@@ -12,7 +11,6 @@ from repro import (
     SIGTERM,
     SIGUSR1,
     SIGUSR2,
-    System,
     status_code,
     status_exited,
     status_signal,

@@ -1,9 +1,8 @@
 """Local sockets: connect/accept, data transfer, descriptor passing."""
 
-import pytest
 
-from repro import O_CREAT, O_RDWR, SEEK_SET, System, status_code
-from repro.errors import ECONNREFUSED, EINTR, ENOTCONN, ENOTSOCK, EPIPE
+from repro import O_CREAT, O_RDWR, SEEK_SET
+from repro.errors import ECONNREFUSED, ENOTCONN, ENOTSOCK, EPIPE
 from tests.conftest import run_program
 
 

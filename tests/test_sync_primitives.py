@@ -393,3 +393,57 @@ def test_ablation_read_block_counts_on_read_side():
     assert done
     assert lock.read_acquires == 2
     assert machine.lockstats.get("abl2.read").contended == 1
+
+
+# ----------------------------------------------------------------------
+# shared read lock ownership guards (regression: an unbalanced release
+# used to silently consume some other process's read grant)
+
+
+def test_release_read_by_non_reader_raises():
+    from repro.sim.machine import Machine
+
+    machine = Machine(ncpus=1)
+    lock = SharedReadLock(machine, _StubWaker(), name="own")
+    owner, thief = _StubProc(), _StubProc()
+    done, _ = _drive(lock.acquire_read(owner))
+    assert done
+    with pytest.raises(SimulationError, match="holds no read lock"):
+        _drive(lock.release_read(thief))
+    assert lock.readers == 1, "the bogus release must not consume the grant"
+    done, _ = _drive(lock.release_read(owner))
+    assert done
+    assert lock.readers == 0
+
+
+def test_release_read_more_times_than_acquired_raises():
+    from repro.sim.machine import Machine
+
+    machine = Machine(ncpus=1)
+    lock = SharedReadLock(machine, _StubWaker(), name="own2")
+    owner = _StubProc()
+    done, _ = _drive(lock.acquire_read(owner))
+    assert done
+    done, _ = _drive(lock.acquire_read(owner))
+    assert done
+    for _ in range(2):
+        done, _ = _drive(lock.release_read(owner))
+        assert done
+    with pytest.raises(SimulationError):
+        _drive(lock.release_read(owner))
+
+
+def test_release_update_by_non_updater_raises():
+    from repro.sim.machine import Machine
+
+    machine = Machine(ncpus=1)
+    lock = SharedReadLock(machine, _StubWaker(), name="own3")
+    updater, thief = _StubProc(), _StubProc()
+    done, _ = _drive(lock.acquire_update(updater))
+    assert done
+    with pytest.raises(SimulationError, match="not the updater"):
+        _drive(lock.release_update(thief))
+    assert lock.updating, "the update grant must survive the bogus release"
+    done, _ = _drive(lock.release_update(updater))
+    assert done
+    assert not lock.updating

@@ -1,8 +1,7 @@
 """Mach-style threads baseline: share-everything semantics and costs."""
 
-import pytest
 
-from repro import O_CREAT, O_RDWR, SEEK_SET, System, status_code
+from repro import O_CREAT, O_RDWR, SEEK_SET, status_code
 from tests.conftest import run_program
 
 

@@ -6,9 +6,8 @@ is exactly the "dangling implicit pointer" failure the paper's section
 6.2 locking protocol exists to prevent.
 """
 
-import pytest
 
-from repro import PR_SALL, System
+from repro import PR_SALL
 from repro.errors import SimulationError
 from repro.mem.frames import PAGE_SIZE
 from tests.conftest import run_program

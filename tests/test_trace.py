@@ -1,10 +1,8 @@
 """The kernel event tracer."""
 
-import pytest
 
-from repro import PR_SALL, SIGUSR1, System
+from repro import PR_SALL, System
 from repro.sim.trace import Tracer
-from tests.conftest import run_program
 
 
 def traced_run(main, ncpus=2, capacity=10_000):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import PR_SALL, System, status_code
+from repro import PR_SALL, status_code
 from repro.runtime import URWLock, USema
 from tests.conftest import run_program
 
@@ -119,3 +119,73 @@ def test_usema_try_down():
 
     out, _ = run_program(main)
     assert out["first"] and not out["second"] and out["third"]
+
+
+# ----------------------------------------------------------------------
+# word-state guards (regression: an extra release_read used to
+# underflow the free word into the writer sentinel, wedging the lock)
+
+
+def test_release_read_without_readers_raises():
+    from repro.errors import SimulationError
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        lock = URWLock(base)
+        yield from lock.release_read(api)
+        return 0
+
+    with pytest.raises(SimulationError, match="no readers"):
+        run_program(main)
+
+
+def test_release_read_under_writer_raises():
+    from repro.errors import SimulationError
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        lock = URWLock(base)
+        yield from lock.acquire_write(api)
+        yield from lock.release_read(api)
+        return 0
+
+    with pytest.raises(SimulationError, match="no readers"):
+        run_program(main)
+
+
+def test_release_write_not_held_raises():
+    from repro.errors import SimulationError
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        lock = URWLock(base)
+        yield from lock.acquire_read(api)
+        yield from lock.release_write(api)
+        return 0
+
+    with pytest.raises(SimulationError, match="not write-held"):
+        run_program(main)
+
+
+def test_lock_survives_rejected_release():
+    """The guard must fire before any state change: after a rejected
+    release_write the reader count is intact and the lock still works."""
+    from repro.errors import SimulationError
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        lock = URWLock(base)
+        yield from lock.acquire_read(api)
+        try:
+            yield from lock.release_write(api)
+        except SimulationError:
+            out["caught"] = True
+        out["readers"] = yield from lock.readers(api)
+        yield from lock.release_read(api)
+        yield from lock.acquire_write(api)
+        yield from lock.release_write(api)
+        out["reusable"] = True
+        return 0
+
+    out, _ = run_program(main)
+    assert out["caught"] and out["readers"] == 1 and out["reusable"]

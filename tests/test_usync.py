@@ -1,8 +1,7 @@
 """uwait/uwake (futex-style extension) and the hybrid lock."""
 
-import pytest
 
-from repro import PR_SALL, System, status_code
+from repro import PR_SALL, status_code
 from repro.errors import EINTR
 from repro.runtime import HybridLock
 from tests.conftest import run_program
