@@ -1,0 +1,270 @@
+"""The fault-injection sweep: every failpoint, every error path.
+
+The schedule explorer answers "does a different interleaving break the
+protocol?"; this module answers "does the *error path* break it?".  For
+each scenario it first makes a **recording** pass (failpoints count
+their hits but never fire) to learn which sites the workload reaches and
+how often, then re-runs the scenario with one site armed at a time —
+first hit, last hit and (``deep``) midpoints — and demands that:
+
+* the run still completes (injected failures surface as ``-1``/errno,
+  which the scenarios are written to survive), and
+* :func:`repro.check.invariants.audit_leaks` finds nothing afterwards —
+  no leaked frames, no unbalanced share groups, no stranded waiters.
+
+The two abrupt-kill sites (``syscall.entry``/``syscall.exit``) are the
+exception: SIGKILL mid-protocol may legitimately stall the *guest*
+program (a peer waiting on a dead participant), so for those a deadlock
+verdict is tolerated as long as the kernel invariants hold on the stuck
+state.  Every failure prints a single re-runnable command, and the hit
+index is shrunk toward 1 so the repro is as short as the bug allows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.check.invariants import audit_leaks, run_invariants
+from repro.check.scenarios import SCENARIOS, Scenario
+from repro.errors import DeadlockError, SimulationError
+from repro.obs.lockdep import LockOrderViolation
+from repro.system import System
+
+#: scenarios the sweep drives by default — racy-counter is fine here
+#: (the judge checks leaks, not final-state equality)
+SWEEP_SCENARIOS = ("fault-storm", "fd-churn", "mmap-churn", "racy-counter")
+
+#: sites that deliver SIGKILL rather than an errno — a stalled guest
+#: protocol is tolerated for these, a dirty kernel state is not
+KILL_SITES = frozenset({"syscall.entry", "syscall.exit"})
+
+
+class InjectResult:
+    """One scenario run with one site armed."""
+
+    def __init__(
+        self,
+        scenario: str,
+        site: str,
+        policy: str,
+        status: str,
+        detail: str,
+        fired: int,
+        cycles: int,
+    ):
+        self.scenario = scenario
+        self.site = site
+        self.policy = policy
+        self.status = status  # ok | leak | error | stalled
+        self.detail = detail
+        self.fired = fired
+        self.cycles = cycles
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "site": self.site,
+            "policy": self.policy,
+            "status": self.status,
+            "detail": self.detail,
+            "fired": self.fired,
+            "cycles": self.cycles,
+        }
+
+
+def run_injected(scenario: Scenario, site: str, policy: str) -> InjectResult:
+    """Run once with ``site`` armed; classify, never raise.
+
+    Boots the system by hand rather than through :meth:`Scenario.run`
+    so the simulator object survives a :class:`DeadlockError` — the
+    stuck state is exactly what the kill-site verdict must inspect.
+    """
+    out: dict = {}
+    sim = System(ncpus=scenario.ncpus, lockdep=True, inject={site: policy})
+    sim.spawn(scenario.main, out, name=scenario.name)
+    status, detail = "ok", ""
+    try:
+        sim.run()
+    except LockOrderViolation as exc:
+        status, detail = "error", "lockdep: %s" % exc
+    except DeadlockError as exc:
+        findings = run_invariants(sim)
+        if site in KILL_SITES and not findings:
+            status = "ok"
+            detail = "stalled after kill (tolerated; invariants clean)"
+        elif findings:
+            status, detail = "stalled", "%s; invariants: %s" % (
+                exc, "; ".join(findings))
+        else:
+            status, detail = "stalled", str(exc)
+    except SimulationError as exc:
+        status, detail = "error", "%s: %s" % (type(exc).__name__, exc)
+    else:
+        findings = audit_leaks(sim)
+        if findings:
+            status, detail = "leak", "; ".join(findings)
+    fired = sim.machine.inject.fired.get(site, 0)
+    return InjectResult(
+        scenario.name, site, policy, status, detail, fired, sim.engine.now
+    )
+
+
+def record_hits(scenario: Scenario) -> Tuple[Dict[str, int], List[str]]:
+    """Recording pass: which sites does the workload reach, and is it
+    clean without any injection at all?"""
+    out, sim = scenario.run(lockdep=True, record=True)
+    return dict(sim.machine.inject.hits), audit_leaks(sim)
+
+
+def _hit_indices(total: int, deep: bool) -> List[int]:
+    """Which hit numbers to arm for a site hit ``total`` times."""
+    if total <= 0:
+        return []
+    picks = {1, total}
+    if deep:
+        picks.update(
+            n for n in (total // 4, total // 2, (3 * total) // 4) if n >= 1
+        )
+    return sorted(picks)
+
+
+def shrink_hit(scenario: Scenario, site: str, failing_hit: int) -> int:
+    """Greedily walk the failing hit index toward 1."""
+    for candidate in sorted({1, failing_hit // 4, failing_hit // 2}):
+        if 1 <= candidate < failing_hit:
+            if not run_injected(scenario, site, "nth:%d" % candidate).ok:
+                return candidate
+    return failing_hit
+
+
+class InjectFailure:
+    """A reproducible sweep finding."""
+
+    def __init__(self, result: InjectResult, minimal_policy: Optional[str] = None):
+        self.result = result
+        self.minimal_policy = minimal_policy
+
+    def repro_command(self) -> str:
+        policy = self.minimal_policy or self.result.policy
+        return (
+            "python -m repro.check inject --scenario %s --site %s --policy %s"
+            % (self.result.scenario, self.result.site, policy)
+        )
+
+    def to_dict(self) -> dict:
+        data = self.result.to_dict()
+        data["minimal_policy"] = self.minimal_policy
+        data["repro"] = self.repro_command()
+        return data
+
+    def render(self) -> str:
+        result = self.result
+        lines = [
+            "FAIL %s site=%s policy=%s status=%s"
+            % (result.scenario, result.site, result.policy, result.status),
+            "  repro: %s" % self.repro_command(),
+        ]
+        for detail_line in result.detail.splitlines():
+            lines.append("  | " + detail_line)
+        return "\n".join(lines)
+
+
+class InjectReport:
+    """Everything one sweep invocation learned."""
+
+    def __init__(self, deep: bool):
+        self.deep = deep
+        self.scenarios: List[str] = []
+        self.runs = 0
+        self.failures: List[InjectFailure] = []
+        self.baseline_errors: List[Tuple[str, str]] = []
+        self.site_coverage: Dict[str, List[str]] = {}  # site -> scenarios
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and not self.baseline_errors
+
+    def sites_swept(self) -> List[str]:
+        return sorted(self.site_coverage)
+
+    def to_dict(self) -> dict:
+        return {
+            "deep": self.deep,
+            "scenarios": self.scenarios,
+            "runs": self.runs,
+            "ok": self.ok,
+            "sites_swept": self.sites_swept(),
+            "site_coverage": {
+                site: sorted(names)
+                for site, names in sorted(self.site_coverage.items())
+            },
+            "baseline_errors": [
+                {"scenario": name, "detail": detail}
+                for name, detail in self.baseline_errors
+            ],
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def render(self) -> str:
+        lines = [
+            "fault-injection sweep: %d scenario(s), %d runs, "
+            "%d distinct sites reached%s"
+            % (len(self.scenarios), self.runs, len(self.site_coverage),
+               " (deep)" if self.deep else "")
+        ]
+        for site in self.sites_swept():
+            lines.append(
+                "  %-20s via %s" % (site, ",".join(sorted(self.site_coverage[site])))
+            )
+        for name, detail in self.baseline_errors:
+            lines.append("BASELINE FAIL %s" % name)
+            lines.extend("  | " + line for line in detail.splitlines())
+        for failure in self.failures:
+            lines.append(failure.render())
+        lines.append("result: %s" % ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def sweep(
+    scenario_names: Optional[Iterable[str]] = None,
+    site_names: Optional[Iterable[str]] = None,
+    deep: bool = False,
+    shrink_failures: bool = True,
+) -> InjectReport:
+    """Record each scenario, then inject every reached site in turn."""
+    names = list(scenario_names) if scenario_names else list(SWEEP_SCENARIOS)
+    wanted = frozenset(site_names) if site_names else None
+    report = InjectReport(deep)
+    report.scenarios = names
+    for name in names:
+        scenario = SCENARIOS[name]
+        try:
+            hits, baseline_findings = record_hits(scenario)
+        except SimulationError as exc:
+            report.baseline_errors.append((name, str(exc)))
+            continue
+        report.runs += 1
+        if baseline_findings:
+            report.baseline_errors.append((name, "; ".join(baseline_findings)))
+            continue
+        for site in sorted(hits):
+            if wanted is not None and site not in wanted:
+                continue
+            report.site_coverage.setdefault(site, []).append(name)
+            for hit_no in _hit_indices(hits[site], deep):
+                result = run_injected(scenario, site, "nth:%d" % hit_no)
+                report.runs += 1
+                if result.ok:
+                    continue
+                minimal = None
+                if shrink_failures and hit_no > 1:
+                    best = shrink_hit(scenario, site, hit_no)
+                    if best != hit_no:
+                        minimal = "nth:%d" % best
+                report.failures.append(InjectFailure(result, minimal))
+                break  # one failure per site is enough signal
+    return report

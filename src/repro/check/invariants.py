@@ -169,3 +169,79 @@ def run_invariants(sim) -> List[str]:
     for name, checker in CHECKERS.items():
         findings.extend("%s: %s" % (name, finding) for finding in checker(sim))
     return findings
+
+
+# ----------------------------------------------------------------------
+# resource leak audit (fault-injection support)
+
+def snapshot_resources(sim) -> Dict[str, int]:
+    """Measure the resources a clean run must return to their baseline.
+
+    SysV shm segments keep their frames until ``shmctl_rmid``, so they
+    are counted separately and subtracted from the frame balance.
+    """
+    shm_frames = 0
+    for segment in sim.kernel.shm._by_id.values():
+        if not getattr(segment, "removed", False):
+            shm_frames += segment.region.resident_pages()
+    return {
+        "frames": sim.machine.frames.allocated,
+        "shm_frames": shm_frames,
+        "group_balance": (
+            sim.kernel.stats["groups_created"] - sim.kernel.stats["groups_freed"]
+        ),
+        "live_procs": sim.kernel.live_procs,
+    }
+
+
+def audit_leaks(sim, baseline=None) -> List[str]:
+    """Post-run leak audit: invariants plus resource-balance checks.
+
+    ``baseline`` is a :func:`snapshot_resources` taken before the
+    workload ran (defaults to an empty system).  Meant to be called
+    after every process has exited — anything still held is a leak in
+    some error path.
+    """
+    if baseline is None:
+        baseline = {"frames": 0, "shm_frames": 0, "group_balance": 0,
+                    "live_procs": 0}
+    findings = run_invariants(sim)
+    now = snapshot_resources(sim)
+    frame_delta = (now["frames"] - now["shm_frames"]) - (
+        baseline["frames"] - baseline["shm_frames"]
+    )
+    if frame_delta != 0:
+        findings.append(
+            "frames: %+d physical frames leaked (now %d, shm holds %d)"
+            % (frame_delta, now["frames"], now["shm_frames"])
+        )
+    if now["group_balance"] != baseline["group_balance"]:
+        findings.append(
+            "share-groups: %d created but only %d freed"
+            % (sim.kernel.stats["groups_created"], sim.kernel.stats["groups_freed"])
+        )
+    if now["live_procs"] != baseline["live_procs"]:
+        findings.append(
+            "procs: %d still counted live after the run" % now["live_procs"]
+        )
+    for (asid, vaddr), channel in sorted(sim.kernel._usync.items()):
+        if channel.waiters != 0 or channel.sema.nwaiters != 0:
+            findings.append(
+                "usync @%#x asid=%d: %d banked waiters, %d sleepers left"
+                % (vaddr, asid, channel.waiters, channel.sema.nwaiters)
+            )
+    for semset in sim.kernel.sem._by_id.values():
+        if semset.waiters != 0 or semset.change.nwaiters != 0:
+            findings.append(
+                "semset id=%d: %d banked waiters, %d sleepers left"
+                % (semset.semid, semset.waiters, semset.change.nwaiters)
+            )
+    for queue in sim.kernel.msg._by_id.values():
+        if (queue.send_waiters or queue.recv_waiters
+                or queue.send_wait.nwaiters or queue.recv_wait.nwaiters):
+            findings.append(
+                "msgq id=%d: snd=%d/%d rcv=%d/%d waiters left"
+                % (queue.msqid, queue.send_waiters, queue.send_wait.nwaiters,
+                   queue.recv_waiters, queue.recv_wait.nwaiters)
+            )
+    return findings

@@ -37,15 +37,24 @@ class Scenario:
         seed: Optional[int] = None,
         features: Optional[Iterable[str]] = None,
         lockdep: bool = True,
+        inject: Optional[Dict[str, str]] = None,
+        record: bool = False,
     ) -> Tuple[dict, System]:
-        """Boot a fresh system, run to completion, return ``(out, sim)``."""
+        """Boot a fresh system, run to completion, return ``(out, sim)``.
+
+        ``inject`` arms failpoints (site -> policy); ``record`` counts
+        failpoint hits without firing any (the sweep's discovery pass).
+        """
         out: dict = {}
         sim = System(
             ncpus=self.ncpus,
             lockdep=lockdep,
             perturb_seed=seed,
             perturb_features=features,
+            inject=inject,
         )
+        if record:
+            sim.machine.inject.start_recording()
         sim.spawn(self.main, out, name=self.name)
         sim.run()
         return out, sim
@@ -71,13 +80,20 @@ def _fault_storm_member(api, arg):
 
 
 def _fault_storm_main(api, out):
+    # Failure-only branches (base == -1, started < N) keep the scenario
+    # usable under fault injection; an unperturbed run never takes them.
     base = yield from api.mmap((_FS_PAGES + 1) * PAGE_SIZE)
+    if base == -1:
+        return 1
     acc = base + _FS_PAGES * PAGE_SIZE
     for index in range(_FS_PAGES):
         yield from api.store_word(base + index * PAGE_SIZE, index + 1)
+    started = 0
     for _ in range(_FS_PROCS):
-        yield from api.sproc(_fault_storm_member, PR_SALL, (base, acc))
-    for _ in range(_FS_PROCS):
+        pid = yield from api.sproc(_fault_storm_member, PR_SALL, (base, acc))
+        if pid != -1:
+            started += 1
+    for _ in range(started):
         yield from api.wait()
     out["acc"] = yield from api.load_word(acc)
     out["expected"] = _FS_PROCS * sum(range(1, _FS_PAGES + 1))
@@ -100,6 +116,10 @@ def _fd_reader(api, arg):
     total = 0
     while total < expected:
         chunk = yield from api.read(rfd, 16)
+        if chunk == -1:
+            continue  # EINTR under injection: retry
+        if not chunk:
+            break  # EOF: every writer is gone
         total += len(chunk)
     yield from api.close(rfd)
     out["bytes"] = total
@@ -129,12 +149,25 @@ def _fd_churner(api, arg):
 
 
 def _fd_churn_main(api, out):
-    rfd, wfd = yield from api.pipe()
-    yield from api.sproc(_fd_reader, PR_SALL, (out, rfd))
-    yield from api.sproc(_fd_writer, PR_SALL, wfd)
-    yield from api.sproc(_fd_churner, PR_SALL, 0)
-    yield from api.sproc(_fd_churner, PR_SALL, 1)
-    for _ in range(4):
+    fds = yield from api.pipe()
+    if fds == -1:
+        return 1
+    rfd, wfd = fds
+    started = 0
+    for entry, arg in (
+        (_fd_reader, (out, rfd)),
+        (_fd_writer, wfd),
+        (_fd_churner, 0),
+        (_fd_churner, 1),
+    ):
+        pid = yield from api.sproc(entry, PR_SALL, arg)
+        if pid != -1:
+            started += 1
+    if started < 4:
+        # Some member never ran: feed the reader its full byte count
+        # ourselves so an error-site injection cannot strand it.
+        yield from api.write(wfd, _FD_MSG * _FD_MESSAGES)
+    for _ in range(started):
         yield from api.wait()
     out["expected"] = _FD_MESSAGES * len(_FD_MSG)
     return 0
@@ -152,6 +185,8 @@ def _mmap_churner(api, arg):
     total = 0
     for round_no in range(_MC_ROUNDS):
         base = yield from api.mmap(2 * PAGE_SIZE)
+        if base == -1:
+            continue  # injection refused the mapping: skip the round
         yield from api.store_word(base, index * 1000 + round_no)
         yield from api.store_word(base + PAGE_SIZE, round_no)
         total += yield from api.load_word(base)
@@ -176,12 +211,19 @@ def _mmap_faulter(api, arg):
 def _mmap_churn_main(api, out):
     npages = 6
     base = yield from api.mmap(npages * PAGE_SIZE)
+    if base == -1:
+        return 1
     for index in range(npages):
         yield from api.store_word(base + index * PAGE_SIZE, 10 + index)
+    started = 0
     for index in range(_MC_PROCS):
-        yield from api.sproc(_mmap_churner, PR_SALL, (out, index))
-    yield from api.sproc(_mmap_faulter, PR_SALL, (out, base, npages))
-    for _ in range(_MC_PROCS + 1):
+        pid = yield from api.sproc(_mmap_churner, PR_SALL, (out, index))
+        if pid != -1:
+            started += 1
+    pid = yield from api.sproc(_mmap_faulter, PR_SALL, (out, base, npages))
+    if pid != -1:
+        started += 1
+    for _ in range(started):
         yield from api.wait()
     return 0
 
@@ -204,9 +246,14 @@ def _racy_member(api, base):
 
 def _racy_counter_main(api, out):
     base = yield from api.mmap(PAGE_SIZE)
+    if base == -1:
+        return 1
+    started = 0
     for _ in range(_RC_PROCS):
-        yield from api.sproc(_racy_member, PR_SALL, base)
-    for _ in range(_RC_PROCS):
+        pid = yield from api.sproc(_racy_member, PR_SALL, base)
+        if pid != -1:
+            started += 1
+    for _ in range(started):
         yield from api.wait()
     out["count"] = yield from api.load_word(base)
     return 0

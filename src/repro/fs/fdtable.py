@@ -24,6 +24,7 @@ class FDTable:
 
     def __init__(self, size: int = NOFILE):
         self.slots: List[Optional[File]] = [None] * size
+        self.inject = None  #: FailPointRegistry, set by the kernel
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         used = sum(1 for slot in self.slots if slot is not None)
@@ -33,6 +34,8 @@ class FDTable:
 
     def alloc(self, file: File) -> int:
         """Install ``file`` at the lowest free descriptor (UNIX rule)."""
+        if self.inject is not None and self.inject.fire("fd.alloc"):
+            raise SysError(EMFILE, "injected at fd.alloc")
         for fd, slot in enumerate(self.slots):
             if slot is None:
                 self.slots[fd] = file
@@ -93,6 +96,7 @@ class FDTable:
     def fork_copy(self) -> "FDTable":
         """Duplicate for fork: same files, extra reference each."""
         child = FDTable(len(self.slots))
+        child.inject = self.inject
         for fd, slot in enumerate(self.slots):
             if slot is not None:
                 child.slots[fd] = slot.hold()

@@ -25,6 +25,7 @@ class Pipe:
 
     def __init__(self, machine, waker, capacity: int = PIPE_BUF):
         self.capacity = capacity
+        self._inject = getattr(machine, "inject", None)
         self.buffer = bytearray()
         self.readers = 1
         self.writers = 1
@@ -87,9 +88,14 @@ class Pipe:
                 return chunk
             if self.writers == 0:
                 return b""  # EOF
+            if self._inject is not None and self._inject.fire("pipe.read.sleep"):
+                raise SysError(EINTR, "injected: signal before pipe read sleep")
             self._read_waiters += 1
             ok = yield from self._read_wait.p(proc, interruptible=True)
             if not ok:
+                # Our banked wakeup claim must go with us, or the next
+                # _wake_readers over-credits the semaphore.
+                self._read_waiters = max(self._read_waiters - 1, 0)
                 raise SysError(EINTR)
 
     def write(self, proc, payload: bytes):
@@ -105,9 +111,12 @@ class Pipe:
                 written += len(chunk)
                 self._wake_readers()
                 continue
+            if self._inject is not None and self._inject.fire("pipe.write.sleep"):
+                raise SysError(EINTR, "injected: signal before pipe write sleep")
             self._write_waiters += 1
             ok = yield from self._write_wait.p(proc, interruptible=True)
             if not ok:
+                self._write_waiters = max(self._write_waiters - 1, 0)
                 raise SysError(EINTR)
         return written
 

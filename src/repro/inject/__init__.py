@@ -1,0 +1,15 @@
+"""Deterministic fault injection (failpoints) for the simulated kernel."""
+
+from repro.inject.failpoints import (
+    FailPlan,
+    FailPointRegistry,
+    INJECT_DELAY_CYCLES,
+    SITES,
+)
+
+__all__ = [
+    "FailPlan",
+    "FailPointRegistry",
+    "INJECT_DELAY_CYCLES",
+    "SITES",
+]

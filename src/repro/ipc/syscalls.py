@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.errors import E2BIG, EINVAL, ENOTSOCK, SysError
+from repro.errors import E2BIG, EINTR, EINVAL, ENOSPC, ENOTSOCK, SysError
 from repro.fs.file import File, O_RDWR
 from repro.fs.inode import Inode, InodeType
 from repro.ipc.socket import Socket, SocketNamespace
@@ -33,6 +33,8 @@ class IPCSyscalls:
 
     def sys_shmget(self, proc, key: int, nbytes: int, flags: int = 0):
         yield kdelay(self.costs.file_io_base)
+        if self.fail("ipc.get"):
+            raise SysError(ENOSPC, "injected: ipc table full")
         segment = self.shm.get(key, nbytes, flags)
         return segment.shmid
 
@@ -91,6 +93,8 @@ class IPCSyscalls:
 
     def sys_semget(self, proc, key: int, nsems: int, flags: int = 0):
         yield kdelay(self.costs.file_io_base)
+        if self.fail("ipc.get"):
+            raise SysError(ENOSPC, "injected: ipc table full")
         semset = self.sem.get(key, nsems, flags)
         return semset.semid
 
@@ -106,11 +110,14 @@ class IPCSyscalls:
                 self.pcount(proc, "semops")
                 self.trace("ipc", proc.pid, "semop id=%d" % semid)
                 return 0
+            if self.fail("sem.sleep"):
+                raise SysError(EINTR, "injected: signal before semop sleep")
             semset.waiters += 1
             ok = yield from semset.change.p(proc, interruptible=True)
             if not ok:
-                from repro.errors import EINTR
-
+                # Take our banked wakeup claim with us, or broadcast()
+                # over-credits the change semaphore forever after.
+                semset.waiters = max(semset.waiters - 1, 0)
                 raise SysError(EINTR)
 
     # ------------------------------------------------------------------
@@ -118,6 +125,8 @@ class IPCSyscalls:
 
     def sys_msgget(self, proc, key: int, flags: int = 0):
         yield kdelay(self.costs.file_io_base)
+        if self.fail("ipc.get"):
+            raise SysError(ENOSPC, "injected: ipc table full")
         queue = self.msg.get(key, flags)
         return queue.msqid
 
@@ -127,11 +136,12 @@ class IPCSyscalls:
         queue = self.msg.lookup(msqid)
         yield kdelay(self.costs.msg_op)
         while not queue.has_room(len(payload)):
+            if self.fail("msg.snd.sleep"):
+                raise SysError(EINTR, "injected: signal before msgsnd sleep")
             queue.send_waiters += 1
             ok = yield from queue.send_wait.p(proc, interruptible=True)
             if not ok:
-                from repro.errors import EINTR
-
+                queue.send_waiters = max(queue.send_waiters - 1, 0)
                 raise SysError(EINTR)
         yield kdelay(self.costs.copyio_per_word * _words(len(payload)))
         queue.enqueue(mtype, bytes(payload))
@@ -151,11 +161,12 @@ class IPCSyscalls:
                 queue.dequeue(message)
                 yield kdelay(self.costs.copyio_per_word * _words(len(message[1])))
                 return message
+            if self.fail("msg.rcv.sleep"):
+                raise SysError(EINTR, "injected: signal before msgrcv sleep")
             queue.recv_waiters += 1
             ok = yield from queue.recv_wait.p(proc, interruptible=True)
             if not ok:
-                from repro.errors import EINTR
-
+                queue.recv_waiters = max(queue.recv_waiters - 1, 0)
                 raise SysError(EINTR)
 
     # ------------------------------------------------------------------

@@ -73,6 +73,8 @@ class FaultMixin:
                     )
                     yield kdelay(self.costs.fault_entry + fill)
                     try:
+                        if self.fail("fault." + kind.value):
+                            raise MemoryError("injected at fault." + kind.value)
                         frame = proc.vm.materialize(res, vaddr, write)
                     except MemoryError:
                         mode, locked = locked, "none"
@@ -98,6 +100,8 @@ class FaultMixin:
                     self.trace("fault", proc.pid, "grow @%#x" % vaddr)
                     yield kdelay(self.costs.fault_entry + self.costs.page_zero)
                     try:
+                        if self.fail("fault.grow"):
+                            raise MemoryError("injected at fault.grow")
                         frame = proc.vm.materialize(res, vaddr, write)
                     except MemoryError:
                         mode, locked = locked, "none"
@@ -154,13 +158,53 @@ class FaultMixin:
     # ------------------------------------------------------------------
     # kernel <-> user copies (used by read/write/exec argument paths)
 
+    def _copy_fault(self, proc, addr: int, write: bool, touched):
+        """Generator: resolve one page of a multi-page kernel copy.
+
+        A copy that faults in page N and then fails on page N+1 (ENOMEM,
+        EFAULT) must not keep the frames it already grabbed: ``touched``
+        accumulates pages this copy newly materialized, and any SysError
+        rolls them all back before propagating.  Only demand-zero pages
+        of an already-found pregion qualify — a COW break was resident
+        before, and stack growth changes the pregion list itself.
+        """
+        pregion, _shared = proc.vm.find(addr)
+        resident = (
+            pregion is not None
+            and pregion.region.pages[pregion.page_index(addr)] is not None
+        )
+        try:
+            frame = yield from self.vm_handle(proc, addr, write=write, user=False)
+        except SysError:
+            self._rollback_copy_pages(proc, touched)
+            raise
+        if pregion is not None and not resident:
+            touched.append((pregion, pregion.page_index(addr), addr >> PAGE_SHIFT))
+        return frame
+
+    def _rollback_copy_pages(self, proc, touched) -> None:
+        """Release pages a failed multi-page kernel copy materialized.
+
+        A page still singly referenced reverts to demand-zero (frame
+        released, TLB entry flushed everywhere); a frame some other
+        space holds a COW reference to meanwhile stays.
+        """
+        for pregion, index, vpn in reversed(touched):
+            frame = pregion.region.pages[index]
+            if frame is None or frame.refcount != 1:
+                continue
+            pregion.region.pages[index] = None
+            self.machine.frames.release(frame)
+            self.machine.tlb_flush_page(proc.vm.asid, vpn)
+
     def copyin(self, proc, vaddr: int, nbytes: int):
         """Generator: fetch ``nbytes`` of user memory into host bytes."""
         out = bytearray()
         addr = vaddr
         remaining = nbytes
+        touched = []
         while remaining > 0:
-            frame = yield from self.vm_handle(proc, addr, write=False, user=False)
+            frame = yield from self._copy_fault(proc, addr, False, touched)
             offset = addr & PAGE_MASK
             take = min(remaining, PAGE_SIZE - offset)
             out += frame.data[offset:offset + take]
@@ -173,8 +217,9 @@ class FaultMixin:
         """Generator: store host bytes into user memory."""
         addr = vaddr
         index = 0
+        touched = []
         while index < len(payload):
-            frame = yield from self.vm_handle(proc, addr, write=True, user=False)
+            frame = yield from self._copy_fault(proc, addr, True, touched)
             offset = addr & PAGE_MASK
             take = min(len(payload) - index, PAGE_SIZE - offset)
             frame.data[offset:offset + take] = payload[index:index + take]

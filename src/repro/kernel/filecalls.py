@@ -14,6 +14,7 @@ from repro.errors import (
     EEXIST,
     EFBIG,
     EINVAL,
+    ENFILE,
     ENOENT,
     EPERM,
     SysError,
@@ -83,6 +84,8 @@ class FileSyscalls:
         yield kdelay(self.costs.file_io_base)
 
         def apply():
+            if self.fail("open.file"):
+                raise SysError(ENFILE, "injected: file table full")
             ua = proc.uarea
             cred = ua.cred()
             try:
@@ -110,7 +113,14 @@ class FileSyscalls:
                     inode.fifo.add_read_end()
                 if file.writable:
                     inode.fifo.add_write_end()
-            fd = proc.uarea.fdtable.alloc(file)
+            try:
+                fd = proc.uarea.fdtable.alloc(file)
+            except SysError:
+                # Final-release bookkeeping undoes the FIFO endpoint
+                # counts bumped above; without it an EMFILE open leaks
+                # the endpoint and readers never see EOF.
+                self.dispose_file(file)
+                raise
             self.stats["opens"] += 1
             return fd
             yield  # pragma: no cover - marks this closure as a generator
@@ -180,6 +190,8 @@ class FileSyscalls:
         yield kdelay(self.costs.file_io_base + self.costs.pipe_op)
 
         def apply():
+            if self.fail("pipe.alloc"):
+                raise SysError(ENFILE, "injected: no pipe buffer")
             inode = Inode(InodeType.FIFO, mode=0o600)
             inode.fifo = Pipe(self.machine, self.sched)
             reader = File(inode, O_RDONLY)

@@ -36,6 +36,7 @@ from repro.kernel.signals import (
     Action,
     SIG_DFL,
     SIG_IGN,
+    SIGKILL,
     UNCATCHABLE,
     default_action,
 )
@@ -101,6 +102,7 @@ class Kernel(
 
         self.tracer = None  #: optional repro.sim.trace.Tracer
         self.kstat = machine.kstat  #: the machine's kstat counter registry
+        self.inject = machine.inject  #: the machine's failpoint registry
         self.fs = FileSystem()
         self.sched = make_scheduler(scheduler, machine)
         self.sched.kernel = self
@@ -149,6 +151,10 @@ class Kernel(
         """
         if self.tracer is not None:
             self.tracer.record(kind, pid, detail, ph=ph, cpu=cpu)
+
+    def fail(self, site: str) -> bool:
+        """Did the failpoint at ``site`` fire?  Host-side, charges nothing."""
+        return self.inject.fire(site)
 
     def pcount(self, proc, name: str, n: int = 1) -> None:
         """Bump a per-process kstat counter (and the group's, if any)."""
@@ -214,6 +220,7 @@ class Kernel(
 
     def _new_proc(self, uarea: UArea, vm, name: str) -> Proc:
         pid = self.proc_table.alloc_pid()
+        uarea.fdtable.inject = self.machine.inject
         proc = Proc(pid, uarea, vm, name=name)
         proc.child_wait = Semaphore(self.machine, self.sched, 0, "wait:%d" % pid)
         proc.api = self.make_api(proc)
@@ -273,6 +280,12 @@ class Kernel(
         proc.in_kernel = True
         yield kdelay(self.costs.syscall_entry)
         yield from self.entry_checks(proc)
+        if self.fail("syscall.entry"):
+            # Abrupt-kill injection: the process dies at the boundary
+            # before the handler starts, as a SIGKILL racing the trap
+            # would have it.  deliver_pending never returns.
+            self.psignal(proc, SIGKILL)
+            yield from self.deliver_pending(proc)
         try:
             ret = yield from handler
         except SysError as err:
@@ -284,6 +297,11 @@ class Kernel(
             proc.in_kernel = False
             self.trace("syscall", proc.pid, name, ph="E")
         yield kdelay(self.costs.syscall_exit)
+        if self.fail("syscall.exit"):
+            # Abrupt-kill injection at the return boundary: the handler's
+            # work is complete and unwound; the pending check below
+            # delivers the kill.
+            self.psignal(proc, SIGKILL)
         if proc.pending:
             yield from self.deliver_pending(proc)
         return ret
@@ -319,7 +337,12 @@ class Kernel(
     def _prda_frame(self, proc: Proc):
         for pregion in proc.vm.private:
             if pregion.rtype is RegionType.PRDA:
-                return pregion.region.ensure_page(0)
+                try:
+                    return pregion.region.ensure_page(0)
+                except MemoryError:
+                    # No frame for the PRDA (for real or injected):
+                    # errno is best-effort, never a second failure.
+                    return None
         return None
 
     def seterrno(self, proc: Proc, errno: int) -> None:

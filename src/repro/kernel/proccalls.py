@@ -12,10 +12,12 @@ group membership — is unaffected.
 from __future__ import annotations
 
 from repro.errors import (
+    EAGAIN,
     ECHILD,
     EINTR,
     EINVAL,
     ENOEXEC,
+    ENOMEM,
     EPERM,
     ESRCH,
     SysError,
@@ -76,6 +78,8 @@ class ProcSyscalls:
         copy-on-write elements of the new process.
         """
         yield kdelay(self.costs.proc_alloc)
+        if self.fail("fork.proc"):
+            raise SysError(EAGAIN, "injected: process table full")
         sharing = vmshare.sharing_vm(proc)
         if sharing:
             # fork is on the paper's update-lock list: it changes what
@@ -100,7 +104,17 @@ class ProcSyscalls:
                 cpu.tlb.flush_asid(proc.vm.asid)
             yield kdelay(self.costs.tlb_flush_local)
         yield kdelay(self.costs.uarea_copy)
-        uarea = proc.uarea.fork_copy()
+        try:
+            if self.fail("fork.uarea"):
+                raise SysError(ENOMEM, "injected: u-area allocation failed")
+            uarea = proc.uarea.fork_copy()
+        except SysError:
+            # The COW image holds frame references; put them back or the
+            # frames leak.  The parent's pages just stay COW-marked until
+            # its next write breaks them back to sole ownership.
+            child_vm.teardown_private()
+            self._retire_asid(child_vm.asid)
+            raise
         child = self._new_proc(uarea, child_vm, name=proc.name + "+f")
         child.parent = proc
         proc.children.append(child)
@@ -110,45 +124,121 @@ class ProcSyscalls:
         return child.pid
 
     def sys_sproc(self, proc, entry, shmask: int, arg=0):
-        """Create a share group member (paper section 5.1)."""
+        """Create a share group member (paper section 5.1).
+
+        Every step after the group exists can fail (injected or real);
+        :meth:`_unwind_sproc` takes the partially built child apart in
+        reverse order so a failed call leaves the group exactly as it
+        was — ``s_refcnt``, the shared pregion list, frame counts and
+        fd references all restored.
+        """
         yield kdelay(self.costs.proc_alloc)
+        if self.fail("sproc.proc"):
+            raise SysError(EAGAIN, "injected: process table full")
+        if self.fail("sproc.shaddr"):
+            raise SysError(EAGAIN, "injected: no shared address block")
         shaddr = sproc_mod.ensure_group(self, proc)
         mask = sproc_mod.effective_mask(proc, shmask)
-        if mask & PR_SADDR:
-            yield from shaddr.vm_lock.acquire_update(proc)
-            child_vm, _stack = sproc_mod.build_child_vm(self, proc, mask)
-            yield kdelay(self.costs.region_create + self.costs.region_attach)
-            if mask & sproc_mod.PR_PRIVDATA:
-                # Shared data pages just became COW: running members may
-                # hold stale writable translations.
-                yield from vmshare.shootdown(self, proc)
-            yield from shaddr.vm_lock.release_update(proc)
-        else:
-            child_vm, _stack = sproc_mod.build_child_vm(self, proc, mask)
-            npregions = len(child_vm.private)
-            resident = sum(
-                pregion.region.resident_pages() for pregion in child_vm.private
+        child_vm = stack = uarea = None
+        try:
+            if mask & PR_SADDR:
+                yield from shaddr.vm_lock.acquire_update(proc)
+                try:
+                    if self.fail("sproc.stack"):
+                        raise SysError(ENOMEM, "injected: cannot carve child stack")
+                    child_vm, stack = sproc_mod.build_child_vm(self, proc, mask)
+                    yield kdelay(self.costs.region_create + self.costs.region_attach)
+                    if mask & sproc_mod.PR_PRIVDATA:
+                        # Shared data pages just became COW: running members
+                        # may hold stale writable translations.
+                        yield from vmshare.shootdown(self, proc)
+                finally:
+                    yield from shaddr.vm_lock.release_update(proc)
+            else:
+                if self.fail("sproc.stack"):
+                    raise SysError(ENOMEM, "injected: cannot carve child stack")
+                child_vm, stack = sproc_mod.build_child_vm(self, proc, mask)
+                npregions = len(child_vm.private)
+                resident = sum(
+                    pregion.region.resident_pages() for pregion in child_vm.private
+                )
+                yield kdelay(
+                    self.costs.pregion_dup * npregions
+                    + self.costs.pt_copy_per_page * resident
+                    + self.costs.region_create
+                )
+                for cpu in self.machine.cpus:
+                    cpu.tlb.flush_asid(proc.vm.asid)
+                yield kdelay(self.costs.tlb_flush_local)
+            yield kdelay(self.costs.uarea_copy)
+            if self.fail("sproc.uarea"):
+                raise SysError(ENOMEM, "injected: u-area allocation failed")
+            uarea = sproc_mod.child_uarea(
+                proc, shaddr, mask, dispose=self.dispose_file
             )
-            yield kdelay(
-                self.costs.pregion_dup * npregions
-                + self.costs.pt_copy_per_page * resident
-                + self.costs.region_create
-            )
-            for cpu in self.machine.cpus:
-                cpu.tlb.flush_asid(proc.vm.asid)
-            yield kdelay(self.costs.tlb_flush_local)
-        yield kdelay(self.costs.uarea_copy)
-        uarea = sproc_mod.child_uarea(proc, shaddr, mask, dispose=self.dispose_file)
+        except SysError:
+            yield from self._unwind_sproc(proc, shaddr, mask, child_vm, stack, uarea)
+            raise
         child = self._new_proc(uarea, child_vm, name=proc.name + "+s")
         child.parent = proc
         proc.children.append(child)
         child.shaddr = shaddr
         child.p_shmask = mask
         shaddr.add_member(child)
+        try:
+            if self.fail("sproc.kstack"):
+                raise SysError(ENOMEM, "injected: no kernel stack for child")
+        except SysError:
+            # The child is already a counted group member: detach it the
+            # way exit would before undoing the rest.
+            yield from self._unwind_sproc(
+                proc, shaddr, mask, child_vm, stack, uarea, child
+            )
+            raise
         self.stats["sprocs"] += 1
         self.trace("sproc", proc.pid, "child=%d mask=%#x" % (child.pid, mask))
         self._start_child(child, entry, arg)
         return child.pid
+
+    def _unwind_sproc(
+        self, proc, shaddr, mask, child_vm, stack, uarea, child=None
+    ):
+        """Generator: undo a partially built sproc child, newest piece first.
+
+        Mirrors the exit path piece by piece: group membership
+        (``s_refcnt``/``s_plink``), the proc-table entry, the u-area's
+        file and directory references, and the child's address space —
+        including a stack already carved into the *shared* pregion list,
+        which every member could see.
+        """
+        if child is not None:
+            yield from shaddr.s_listlock.acquire(proc)
+            shaddr.remove_member(child)
+            shaddr.s_listlock.release()
+            child.shaddr = None
+            child.p_shmask = 0
+            child.state = child.ZOMBIE
+            proc.children.remove(child)
+            self.proc_table.remove(child)
+            self.live_procs -= 1
+        if uarea is not None:
+            for file in uarea.fdtable.close_all():
+                self.dispose_file(file)
+            uarea.release_dirs()
+        if child_vm is not None:
+            if mask & PR_SADDR:
+                yield from shaddr.vm_lock.acquire_update(proc)
+                try:
+                    shared_list = shaddr.shared_vm.pregions
+                    if stack is not None and stack in shared_list:
+                        shared_list.remove(stack)
+                        stack.detach()
+                finally:
+                    yield from shaddr.vm_lock.release_update(proc)
+                child_vm.teardown_private()
+            else:
+                child_vm.teardown_private()
+                self._retire_asid(child_vm.asid)
 
     # ------------------------------------------------------------------
     # exec
@@ -290,6 +380,8 @@ class ProcSyscalls:
                 return zombie.pid, zombie.exit_status
             if not proc.children:
                 raise SysError(ECHILD)
+            if self.fail("wait.sleep"):
+                raise SysError(EINTR, "injected: signal before wait sleep")
             ok = yield from proc.child_wait.p(proc, interruptible=True)
             if not ok:
                 raise SysError(EINTR)
@@ -394,6 +486,8 @@ class ProcSyscalls:
         """
         if nbytes <= 0:
             raise SysError(EINVAL)
+        if self.fail("mmap.region"):
+            raise SysError(ENOMEM, "injected: no address range available")
         from repro.mem.pregion import PROT_RW
 
         sharing = vmshare.sharing_vm(proc)

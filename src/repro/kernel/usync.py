@@ -61,6 +61,8 @@ class UsyncSyscalls:
             yield kdelay(self.costs.flag_batch_test)
             return 0
         channel = self._usync_channel(proc.vm.asid, vaddr)
+        if self.fail("usync.sleep"):
+            raise SysError(EINTR, "injected: signal before uwait sleep")
         channel.waiters += 1
         self.stats["uwaits"] += 1
         self.pcount(proc, "uwaits")

@@ -52,6 +52,7 @@ class FrameAllocator:
         self._free: List[int] = list(range(nframes - 1, -1, -1))
         self.allocated = 0
         self.peak = 0
+        self.inject = None  #: FailPointRegistry, set by the owning Machine
 
     # ------------------------------------------------------------------
 
@@ -61,6 +62,10 @@ class FrameAllocator:
         Raises :class:`MemoryError` when physical memory is exhausted —
         the VM layer turns this into ``ENOMEM`` for the guest.
         """
+        if self.inject is not None and self.inject.fire("frames.alloc"):
+            raise MemoryError(
+                "out of physical frames (injected at frames.alloc)"
+            )
         if not self._free:
             raise MemoryError("out of physical frames (%d in use)" % self.allocated)
         pfn = self._free.pop()

@@ -14,6 +14,7 @@ operation in the design, which experiment E5 demonstrates.
 
 from __future__ import annotations
 
+from repro.inject import INJECT_DELAY_CYCLES
 from repro.mem.region import RegionType
 from repro.sim.effects import kdelay
 
@@ -26,6 +27,10 @@ def sharing_vm(proc) -> bool:
 def read_acquire(proc):
     """Generator: take the group's shared read lock (no-op off-group)."""
     if sharing_vm(proc):
+        # Delay-type failpoint: stretch the window between deciding to
+        # take the lock and taking it, so lock-ordering races surface.
+        if proc.vm.machine.inject.fire("vmlock.read.delay"):
+            yield kdelay(INJECT_DELAY_CYCLES)
         yield from proc.shaddr.vm_lock.acquire_read(proc)
 
 
@@ -36,6 +41,8 @@ def read_release(proc):
 
 def update_acquire(proc):
     if sharing_vm(proc):
+        if proc.vm.machine.inject.fire("vmlock.update.delay"):
+            yield kdelay(INJECT_DELAY_CYCLES)
         yield from proc.shaddr.vm_lock.acquire_update(proc)
 
 

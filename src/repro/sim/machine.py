@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+from repro.inject import FailPointRegistry
 from repro.mem.frames import FrameAllocator, PAGE_SIZE
 from repro.obs.kstat import KstatRegistry
 from repro.obs.lockdep import LockDep, NULL_LOCKDEP
@@ -45,6 +46,11 @@ class Machine:
         self.kstat = KstatRegistry(enabled=metrics_enabled)
         self.lockstats = LockStatRegistry(enabled=metrics_enabled)
         self.lockdep = LockDep(self) if lockdep_enabled else NULL_LOCKDEP
+        # Fault injection shares the observability plumbing: one registry
+        # per machine, handed to the few leaf allocators that cannot
+        # reach the kernel object.
+        self.inject = FailPointRegistry(self.kstat)
+        self.frames.inject = self.inject
         self.cpus: List[CPU] = [CPU(i, self, tlb_capacity) for i in range(ncpus)]
         self._next_asid = 0
         self.shootdowns = 0

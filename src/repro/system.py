@@ -24,7 +24,7 @@ instrumentation and costs no simulated cycles.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.errors import DeadlockError
 from repro.kernel.kernel import Kernel, ProgramImage
@@ -51,6 +51,7 @@ class System:
         lockdep: bool = False,
         perturb_seed: Optional[int] = None,
         perturb_features: Optional[Iterable[str]] = None,
+        inject: Optional[Dict[str, str]] = None,
     ):
         self.machine = Machine(
             ncpus=ncpus,
@@ -62,6 +63,8 @@ class System:
             seed=perturb_seed,
             perturb=perturb_features,
         )
+        if inject:
+            self.machine.inject.arm_many(inject)
         self.kernel = Kernel(
             self.machine,
             share_groups_enabled=share_groups_enabled,
