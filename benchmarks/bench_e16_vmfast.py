@@ -1,0 +1,10 @@
+"""Benchmark E16: the VM translation fast path vs the linear ablation."""
+
+from repro.bench.experiments import run_e16
+
+from conftest import drive
+
+
+def test_e16_vmfast(benchmark):
+    """indexed pregion lookup + targeted shootdowns vs linear scans"""
+    drive(benchmark, run_e16)

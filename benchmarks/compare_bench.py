@@ -1,16 +1,25 @@
 """Compare two BENCH_*.json files and gate on a metric regression.
 
-CI runs this after the smoke benchmark: the previous ``main`` run's
+CI runs this after the smoke benchmarks: the previous ``main`` run's
 artifact is the baseline, the fresh result is the candidate, and a
 watched metric that worsens by more than ``--threshold`` fails the job.
 Stdlib only, exit codes: 0 OK (or no baseline to compare), 1 regression,
 2 usage error.
+
+Two gates run today — the scheduler hot path (E15) and the VM
+translation hot path (E16):
 
     python benchmarks/compare_bench.py \
         --previous prev-bench/BENCH_E15.json \
         --current bench-artifacts/BENCH_E15.json \
         --key scheduler --gate percpu \
         --metric scan_per_pick --threshold 0.25
+
+    python benchmarks/compare_bench.py \
+        --previous prev-bench/BENCH_E16.json \
+        --current bench-artifacts/BENCH_E16.json \
+        --key vm_index --gate indexed \
+        --metric scan_per_fault --threshold 0.25
 """
 
 from __future__ import annotations

@@ -124,6 +124,23 @@ def check_pregion_tlb(sim) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# TLB per-ASID index coherence
+
+def check_tlb_asid_index(sim) -> List[str]:
+    """Every CPU's per-ASID TLB index mirrors its primary entry map.
+
+    Trivially clean under ``vm_index="linear"`` (no index exists).
+    """
+    findings = []
+    for cpu in sim.machine.cpus:
+        findings.extend(
+            "cpu%d TLB: %s" % (cpu.idx, error)
+            for error in cpu.tlb.index_errors()
+        )
+    return findings
+
+
+# ----------------------------------------------------------------------
 # fd table refcounts
 
 def check_fd_refcounts(sim) -> List[str]:
@@ -159,6 +176,7 @@ def check_fd_refcounts(sim) -> List[str]:
 CHECKERS = {
     "shaddr-refcounts": check_shaddr_refcounts,
     "pregion-tlb": check_pregion_tlb,
+    "tlb-asid-index": check_tlb_asid_index,
     "fd-refcounts": check_fd_refcounts,
 }
 

@@ -71,11 +71,13 @@ class IPCSyscalls:
             ):
                 raise SysError(EINVAL, "not an attached segment")
             if sharing:
-                yield from vmshare.shootdown(self, proc)
+                yield from vmshare.shootdown_range(
+                    self, proc, pregion.vpn_low, pregion.vpn_high
+                )
             else:
-                for cpu in self.machine.cpus:
-                    cpu.tlb.flush_asid(proc.vm.asid)
-                yield kdelay(self.costs.tlb_flush_local)
+                yield from self.tlb_invalidate_range(
+                    proc, pregion.vpn_low, pregion.vpn_high
+                )
             proc.vm.detach(pregion)
             yield kdelay(self.costs.region_attach)
         finally:

@@ -35,14 +35,24 @@ class FaultMixin:
     # ------------------------------------------------------------------
     # the central translate-or-fault path
 
-    def vm_handle(self, proc, vaddr: int, write: bool, user: bool):
-        """Generator: return the Frame backing ``vaddr``, faulting as needed."""
+    def vm_handle(self, proc, vaddr: int, write: bool, user: bool, info=None):
+        """Generator: return the Frame backing ``vaddr``, faulting as needed.
+
+        ``info`` (optional dict) receives the final resolution —
+        ``kind``/``pregion``/``page_index`` — so callers like
+        :meth:`_copy_fault` need no separate ``find`` pass over the
+        pregion lists.
+        """
         cpu = proc.cpu
         tlb = cpu.tlb
         asid = proc.vm.asid
         vpn = vaddr >> PAGE_SHIFT
         entry = tlb.lookup(asid, vpn)
         if entry is not None and (not write or entry.writable):
+            if info is not None:
+                info["kind"] = Fault.HIT
+                info["pregion"] = None
+                info["page_index"] = -1
             return self.machine.frames.get(entry.pfn)
 
         # Software refill: trap, walk the pregion lists under the lock.
@@ -55,6 +65,10 @@ class FaultMixin:
             while True:
                 res = proc.vm.resolve(vaddr, write)
                 kind = res.kind
+                if info is not None:
+                    info["kind"] = kind
+                    info["pregion"] = res.pregion
+                    info["page_index"] = res.page_index
                 if kind is Fault.HIT:
                     frame = res.pregion.region.pages[res.page_index]
                     writable = proc.vm.writable_now(res.pregion, res.page_index)
@@ -156,6 +170,25 @@ class FaultMixin:
         raise AssertionError("unreachable: SIGKILL delivered")  # pragma: no cover
 
     # ------------------------------------------------------------------
+    # TLB maintenance for non-shared spaces
+
+    def tlb_invalidate_range(self, proc, vpn_lo: int, vpn_hi: int):
+        """Generator: invalidate one VPN window of a non-shared space.
+
+        No shootdown protocol is needed — nobody else runs this address
+        space — but stale translations may linger on CPUs the process
+        migrated away from.  The indexed mode drops just the affected
+        window; the ``vm_index="linear"`` ablation reproduces the old
+        full per-ASID flush bit-identically.
+        """
+        if self.machine.vm_index == "linear":
+            for cpu in self.machine.cpus:
+                cpu.tlb.flush_asid(proc.vm.asid)
+        else:
+            self.machine.tlb_flush_range(proc.vm.asid, vpn_lo, vpn_hi)
+        yield kdelay(self.costs.tlb_flush_local)
+
+    # ------------------------------------------------------------------
     # kernel <-> user copies (used by read/write/exec argument paths)
 
     def _copy_fault(self, proc, addr: int, write: bool, touched):
@@ -167,19 +200,23 @@ class FaultMixin:
         rolls them all back before propagating.  Only demand-zero pages
         of an already-found pregion qualify — a COW break was resident
         before, and stack growth changes the pregion list itself.
+
+        The resolution that ``vm_handle`` already performed tells us
+        which case we hit, so no second walk of the pregion lists is
+        needed.
         """
-        pregion, _shared = proc.vm.find(addr)
-        resident = (
-            pregion is not None
-            and pregion.region.pages[pregion.page_index(addr)] is not None
-        )
+        info = {}
         try:
-            frame = yield from self.vm_handle(proc, addr, write=write, user=False)
+            frame = yield from self.vm_handle(
+                proc, addr, write=write, user=False, info=info
+            )
         except SysError:
             self._rollback_copy_pages(proc, touched)
             raise
-        if pregion is not None and not resident:
-            touched.append((pregion, pregion.page_index(addr), addr >> PAGE_SHIFT))
+        if info.get("kind") is Fault.ZERO:
+            touched.append(
+                (info["pregion"], info["page_index"], addr >> PAGE_SHIFT)
+            )
         return frame
 
     def _rollback_copy_pages(self, proc, touched) -> None:

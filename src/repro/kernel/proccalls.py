@@ -464,13 +464,15 @@ class ProcSyscalls:
             else:
                 if pages > pregion.region.npages:
                     raise SysError(EINVAL, "shrink below data start")
+                # Only the vanishing tail needs invalidating; the rest of
+                # the space (and everyone else's TLB entries) stays warm.
+                vpn_hi = pregion.vpn_high
+                vpn_lo = vpn_hi - pages
                 if sharing:
-                    yield from vmshare.shootdown(self, proc)
+                    yield from vmshare.shootdown_range(self, proc, vpn_lo, vpn_hi)
                 else:
-                    for cpu in self.machine.cpus:
-                        cpu.tlb.flush_asid(proc.vm.asid)
-                    yield kdelay(self.costs.tlb_flush_local)
-                pregion.region.shrink(pages)
+                    yield from self.tlb_invalidate_range(proc, vpn_lo, vpn_hi)
+                pregion.shrink(pages)
                 yield kdelay(self.costs.region_attach)
         finally:
             if sharing:
@@ -519,11 +521,13 @@ class ProcSyscalls:
             if pregion is None or pregion.vbase != vaddr or pregion.rtype is not RegionType.SHM:
                 raise SysError(EINVAL, "not a mapping base")
             if sharing:
-                yield from vmshare.shootdown(self, proc)
+                yield from vmshare.shootdown_range(
+                    self, proc, pregion.vpn_low, pregion.vpn_high
+                )
             else:
-                for cpu in self.machine.cpus:
-                    cpu.tlb.flush_asid(proc.vm.asid)
-                yield kdelay(self.costs.tlb_flush_local)
+                yield from self.tlb_invalidate_range(
+                    proc, pregion.vpn_low, pregion.vpn_high
+                )
             proc.vm.detach(pregion)
             yield kdelay(self.costs.region_attach)
         finally:

@@ -29,6 +29,7 @@ from repro.mem import layout
 from repro.mem.frames import PAGE_MASK, PAGE_SHIFT, PAGE_SIZE, Frame
 from repro.mem.pregion import Growth, Pregion, PROT_WRITE
 from repro.mem.region import Region, RegionType
+from repro.mem.vmindex import PregionList
 
 
 class Fault(enum.Enum):
@@ -74,10 +75,23 @@ class SharedVM:
     def __init__(self, machine, stack_max_bytes: int = layout.DEFAULT_STACK_MAX):
         self.machine = machine
         self.asid = machine.alloc_asid()
-        self.pregions: List[Pregion] = []
+        self._pregions = PregionList()
         self.stack_max_bytes = stack_max_bytes
         self._next_stack_index = 0
         self._next_map_base = layout.MAP_BASE
+
+    @property
+    def pregions(self) -> PregionList:
+        return self._pregions
+
+    @pregions.setter
+    def pregions(self, value: List[Pregion]) -> None:
+        # Wholesale replacement (group teardown does ``pregions = []``):
+        # re-wrap so the interval index and owner backrefs stay coherent.
+        for pregion in self._pregions:
+            if pregion.owner is self._pregions:
+                pregion.owner = None
+        self._pregions = PregionList(value)
 
     def alloc_stack_index(self) -> int:
         index = self._next_stack_index
@@ -102,10 +116,23 @@ class AddressSpace:
         self.frames = machine.frames
         self.shared = shared
         self._own_asid = machine.alloc_asid() if shared is None else None
-        self.private: List[Pregion] = []
+        self._private = PregionList()
         self._next_stack_index = 0
         self._next_map_base = layout.MAP_BASE
         self.stack_max_bytes = layout.DEFAULT_STACK_MAX
+
+    @property
+    def private(self) -> PregionList:
+        return self._private
+
+    @private.setter
+    def private(self, value: List[Pregion]) -> None:
+        # Group creation reassigns the whole list (``proc.vm.private =
+        # keep``); re-wrap so owner backrefs follow the survivors.
+        for pregion in self._private:
+            if pregion.owner is self._private:
+                pregion.owner = None
+        self._private = PregionList(value)
 
     # ------------------------------------------------------------------
     # identity
@@ -128,10 +155,44 @@ class AddressSpace:
                 yield pregion, True
 
     def find(self, vaddr: int) -> Tuple[Optional[Pregion], bool]:
+        if getattr(self.machine, "vm_index", "indexed") == "linear":
+            return self._find_linear(vaddr)
+        return self._find_indexed(vaddr)
+
+    def _find_linear(self, vaddr: int) -> Tuple[Optional[Pregion], bool]:
+        """The original O(n) scan, kept as the ``vm_index="linear"`` ablation."""
+        examined = 0
         for pregion, shared in self.iter_pregions():
+            examined += 1
             if pregion.contains(vaddr):
+                self._note_lookup(examined, hit=True, indexed=False)
                 return pregion, shared
+        self._note_lookup(examined, hit=False, indexed=False)
         return None, False
+
+    def _find_indexed(self, vaddr: int) -> Tuple[Optional[Pregion], bool]:
+        """Bisect private then shared — same private-shadows-shared order."""
+        pregion, steps = self._private.lookup(vaddr)
+        if pregion is not None:
+            self._note_lookup(steps, hit=True, indexed=True)
+            return pregion, False
+        if self.shared is not None:
+            shared_hit, shared_steps = self.shared.pregions.lookup(vaddr)
+            steps += shared_steps
+            if shared_hit is not None:
+                self._note_lookup(steps, hit=True, indexed=True)
+                return shared_hit, True
+        self._note_lookup(steps, hit=False, indexed=True)
+        return None, False
+
+    def _note_lookup(self, steps: int, hit: bool, indexed: bool) -> None:
+        # Host-side accounting only: charges zero simulated cycles, so
+        # metrics on/off cannot perturb the timeline.
+        kstat = self.machine.kstat
+        kstat.add("kernel", 0, "vm_lookups")
+        kstat.add("kernel", 0, "pregion_scan_len", steps)
+        if indexed and hit:
+            kstat.add("kernel", 0, "vm_index_hits")
 
     def find_by_type(self, rtype: RegionType) -> Tuple[Optional[Pregion], bool]:
         for pregion, shared in self.iter_pregions():
@@ -173,13 +234,18 @@ class AddressSpace:
         return pregion
 
     def detach(self, pregion: Pregion) -> None:
-        """Remove a pregion from whichever list holds it."""
-        if pregion in self.private:
-            self.private.remove(pregion)
-        elif self.shared is not None and pregion in self.shared.pregions:
-            self.shared.pregions.remove(pregion)
-        else:
+        """Remove a pregion from whichever list holds it.
+
+        One pass: the pregion's ``owner`` backref says which list holds
+        it, so no ``in``-scans are needed before the remove.
+        """
+        owner = pregion.owner
+        shared_list = self.shared.pregions if self.shared is not None else None
+        if owner is not self._private and (
+            shared_list is None or owner is not shared_list
+        ):
             raise SimulationError("detach of unattached %r" % pregion)
+        owner.remove(pregion)
         pregion.detach()
 
     # ------------------------------------------------------------------
@@ -212,14 +278,31 @@ class AddressSpace:
         The candidate must be the nearest DOWN-growing pregion above the
         address, and the gap must be within its growth ceiling.
         """
-        best: Optional[Tuple[Pregion, bool]] = None
-        for pregion, shared in self.iter_pregions():
-            if pregion.growth is not Growth.DOWN:
-                continue
-            if pregion.vlow <= vaddr:
-                continue
-            if best is None or pregion.vlow < best[0].vlow:
-                best = (pregion, shared)
+        if getattr(self.machine, "vm_index", "indexed") == "linear":
+            best: Optional[Tuple[Pregion, bool]] = None
+            for pregion, shared in self.iter_pregions():
+                if pregion.growth is not Growth.DOWN:
+                    continue
+                if pregion.vlow <= vaddr:
+                    continue
+                if best is None or pregion.vlow < best[0].vlow:
+                    best = (pregion, shared)
+            if best is not None and best[0].can_grow_down_to(vaddr):
+                return best
+            return None
+        # Indexed: one bisect per list over DOWN-growing members only.
+        # Ties on vlow go to the private candidate, matching the linear
+        # scan's private-first iteration with a strict ``<`` comparison.
+        best = None
+        candidate, _steps = self._private.nearest_down_above(vaddr)
+        if candidate is not None:
+            best = (candidate, False)
+        if self.shared is not None:
+            candidate, _steps = self.shared.pregions.nearest_down_above(vaddr)
+            if candidate is not None and (
+                best is None or candidate.vlow < best[0].vlow
+            ):
+                best = (candidate, True)
         if best is not None and best[0].can_grow_down_to(vaddr):
             return best
         return None

@@ -30,7 +30,7 @@ class Growth(enum.Enum):
 class Pregion:
     """Attachment of a :class:`Region` at a virtual base address."""
 
-    __slots__ = ("region", "vbase", "prot", "growth", "max_pages")
+    __slots__ = ("region", "vbase", "prot", "growth", "max_pages", "owner")
 
     def __init__(
         self,
@@ -48,6 +48,8 @@ class Pregion:
         self.growth = growth
         #: growth ceiling in pages (0 means "no limit beyond overlap checks")
         self.max_pages = max_pages
+        #: the PregionList currently holding this attachment (None if loose)
+        self.owner = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<Pregion %s @%#x..%#x>" % (
@@ -117,6 +119,7 @@ class Pregion:
         added = (self.vbase - new_base) >> PAGE_SHIFT
         self.region.grow_front(added)
         self.vbase = new_base
+        self._index_changed()
         return added
 
     def grow_up(self, npages: int) -> None:
@@ -126,6 +129,17 @@ class Pregion:
         if self.max_pages and self.region.npages + npages > self.max_pages:
             raise MemoryError("region growth limit exceeded")
         self.region.grow(npages)
+        self._index_changed()
+
+    def shrink(self, npages: int) -> None:
+        """Shrink from the high end (negative sbrk)."""
+        self.region.shrink(npages)
+        self._index_changed()
+
+    def _index_changed(self) -> None:
+        """Tell the owning list's interval index that our extent moved."""
+        if self.owner is not None:
+            self.owner.invalidate()
 
     def detach(self) -> None:
         """Drop this attachment's region reference."""

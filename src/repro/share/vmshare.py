@@ -71,6 +71,36 @@ def shootdown(kernel, proc):
     yield kdelay(cost)
 
 
+def shootdown_range(kernel, proc, vpn_lo: int, vpn_hi: int):
+    """Generator: targeted synchronous shootdown of one VPN window.
+
+    Region shrink and detach only invalidate the pages they remove, so
+    every other warm translation in the group survives (no refill storm).
+    Must be called with the update lock held.  Falls back to the full
+    per-ASID flush under the ``vm_index="linear"`` ablation so that mode
+    reproduces the old timeline bit-identically.
+    """
+    if kernel.machine.vm_index == "linear":
+        yield from shootdown(kernel, proc)
+        return
+    cost = kernel.machine.tlb_shootdown_range(proc.vm.asid, vpn_lo, vpn_hi)
+    kernel.stats["shootdowns"] += 1
+    kernel.pcount(proc, "shootdowns_sent")
+    kernel.trace(
+        "shootdown", proc.pid,
+        "asid=%d vpn=%#x..%#x" % (proc.vm.asid, vpn_lo, vpn_hi),
+    )
+    kstat = kernel.kstat
+    kstat.add("kernel", 0, "shootdown_pages", vpn_hi - vpn_lo)
+    if proc.cpu is not None:
+        kstat.add("cpu", proc.cpu.idx, "shootdown_ipis_sent",
+                  kernel.machine.ncpus - 1)
+    for cpu in kernel.machine.cpus:
+        if proc.cpu is None or cpu.idx != proc.cpu.idx:
+            kstat.add("cpu", cpu.idx, "shootdown_ipis_rcvd")
+    yield kdelay(cost)
+
+
 def move_pregions_to_shared(proc) -> int:
     """Group creation: migrate the creator's sharable pregions.
 

@@ -30,7 +30,12 @@ class CPU:
         self.machine = machine
         self.engine = machine.engine
         self.costs = machine.costs
-        self.tlb = TLB(tlb_capacity)
+        self.tlb = TLB(
+            tlb_capacity,
+            kstat=machine.kstat,
+            cpu_idx=idx,
+            asid_index=machine.vm_index != "linear",
+        )
         self.current = None  #: the proc executing on this CPU, or None
         self.kernel = None  #: set by Kernel.boot()
         self.dispatcher = None  #: set by the scheduler at boot

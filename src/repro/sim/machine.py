@@ -20,6 +20,11 @@ from repro.sim.cpu import CPU
 from repro.sim.engine import Engine
 
 
+#: pregion-lookup / TLB-flush strategies: "indexed" is the fast path,
+#: "linear" the pre-index ablation (mirrors ``scheduler="global"``)
+VM_INDEX_MODES = ("indexed", "linear")
+
+
 class Machine:
     """N CPUs sharing a physical memory and a cycle-accurate event clock."""
 
@@ -33,9 +38,18 @@ class Machine:
         lockdep_enabled: bool = False,
         seed: Optional[int] = None,
         perturb: Optional[Iterable[str]] = None,
+        vm_index: str = "indexed",
     ):
         if ncpus <= 0:
             raise ValueError("need at least one CPU")
+        if vm_index not in VM_INDEX_MODES:
+            raise ValueError(
+                "unknown vm_index %r (choose from %s)"
+                % (vm_index, ", ".join(VM_INDEX_MODES))
+            )
+        # Must be set before the CPUs exist: each CPU's TLB keys its
+        # per-ASID index decision off this flag.
+        self.vm_index = vm_index
         self.engine = Engine(seed=seed, perturb=perturb)
         self.costs = costs if costs is not None else default_costs()
         self.costs.validate()
@@ -101,10 +115,34 @@ class Machine:
         self.shootdowns += 1
         return self.shootdown_cost()
 
+    def tlb_shootdown_range(self, asid: int, vpn_lo: int, vpn_hi: int) -> int:
+        """Targeted shootdown: flush one VPN window of one space everywhere.
+
+        Same synchronous protocol and initiator cost as a full
+        :meth:`tlb_shootdown`, but every other warm translation —
+        including the rest of this address space — survives, so group
+        members do not refill their whole working set afterwards.
+        """
+        for cpu in self.cpus:
+            cpu.tlb.flush_range(asid, vpn_lo, vpn_hi)
+            cpu.tlb.shootdowns += 1
+        self.shootdowns += 1
+        return self.shootdown_cost()
+
     def tlb_flush_page(self, asid: int, vpn: int) -> None:
         """Drop one translation everywhere (cheap, used on COW breaks)."""
         for cpu in self.cpus:
             cpu.tlb.flush_page(asid, vpn)
+
+    def tlb_flush_range(self, asid: int, vpn_lo: int, vpn_hi: int) -> None:
+        """Drop one VPN window everywhere without shootdown accounting.
+
+        Structural helper for non-sharing address spaces, where no other
+        CPU can be running the victim space mid-update; the caller
+        charges whatever local flush cost applies.
+        """
+        for cpu in self.cpus:
+            cpu.tlb.flush_range(asid, vpn_lo, vpn_hi)
 
     # ------------------------------------------------------------------
     # introspection

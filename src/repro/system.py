@@ -52,6 +52,7 @@ class System:
         perturb_seed: Optional[int] = None,
         perturb_features: Optional[Iterable[str]] = None,
         inject: Optional[Dict[str, str]] = None,
+        vm_index: str = "indexed",
     ):
         self.machine = Machine(
             ncpus=ncpus,
@@ -62,6 +63,7 @@ class System:
             lockdep_enabled=lockdep,
             seed=perturb_seed,
             perturb=perturb_features,
+            vm_index=vm_index,
         )
         if inject:
             self.machine.inject.arm_many(inject)
