@@ -1,40 +1,130 @@
 """Run the paper-reproduction experiments from the command line.
 
-    python -m repro.bench            # run everything
-    python -m repro.bench E1 E6      # run a subset
-    python -m repro.bench --list     # show what exists
+    python -m repro.bench                       # run everything once
+    python -m repro.bench E1 E6                 # run a subset
+    python -m repro.bench --list                # show what exists
+    python -m repro.bench e15 --seeds 10 --jobs 4 --profile
 
 Each experiment prints its table and claim results; a non-zero exit code
-means some claim failed.  Tables are also written to benchmarks/results/.
+means some claim failed.  Tables land in benchmarks/results/ along with
+a machine-readable BENCH_<eid>.json.
+
+``--seeds N`` additionally runs each experiment under N perturbation
+seeds (sharded across ``--jobs`` host processes), attaches a bootstrap
+confidence interval to every metric (stored under ``"stats"`` in the
+BENCH json, gated on CI overlap by benchmarks/compare_bench.py), and
+requires the paper claims to hold under *every* seed, not just the
+default schedule.  ``--profile`` arms the host-side self-profiler and
+writes the per-phase breakdown plus ``sim_cycles_per_host_sec`` to
+BENCH_HOST.json.  ``--trend PATH`` appends this run's summary to a
+BENCH_TREND.json so the perf trajectory accumulates across PRs.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.bench.experiments import ALL_EXPERIMENTS
 
 
+def _list_experiments() -> int:
+    for eid, func in ALL_EXPERIMENTS.items():
+        doc = (func.__doc__ or "").strip().splitlines()
+        print("%-4s %s" % (eid, doc[0] if doc else func.__name__))
+    return 0
+
+
+def _write_host_json(summary: dict) -> str:
+    import json
+    import os
+
+    from repro.bench.harness import _default_results_dir
+
+    directory = os.environ.get("REPRO_RESULTS_DIR", _default_results_dir())
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, "BENCH_HOST.json")
+    with open(path, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
 def main(argv) -> int:
-    args = [arg.upper() for arg in argv[1:]]
-    if "--LIST" in args or "-L" in args:
-        for eid, func in ALL_EXPERIMENTS.items():
-            doc = (func.__doc__ or "").strip().splitlines()
-            print("%-4s %s" % (eid, doc[0] if doc else func.__name__))
-        return 0
-    chosen = args or list(ALL_EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("eids", nargs="*", metavar="EID",
+                        help="experiments to run (default: all)")
+    parser.add_argument("--list", "-l", action="store_true",
+                        help="list experiments and exit")
+    parser.add_argument("--seeds", type=int, default=0, metavar="N",
+                        help="run each experiment under N perturbation "
+                             "seeds and attach bootstrap CIs")
+    parser.add_argument("--jobs", type=int, default=None, metavar="J",
+                        help="host processes for the seed sweep "
+                             "(default: min(seeds, cpu_count))")
+    parser.add_argument("--profile", action="store_true",
+                        help="arm the host self-profiler; write "
+                             "BENCH_HOST.json")
+    parser.add_argument("--trend", metavar="PATH",
+                        help="append results to the BENCH_TREND.json "
+                             "at PATH")
+    args = parser.parse_args(argv[1:])
+
+    if args.list:
+        return _list_experiments()
+
+    chosen = [eid.upper() for eid in args.eids] or list(ALL_EXPERIMENTS)
     unknown = [eid for eid in chosen if eid not in ALL_EXPERIMENTS]
     if unknown:
         print("unknown experiment(s): %s" % ", ".join(unknown))
         print("available: %s" % ", ".join(ALL_EXPERIMENTS))
         return 2
+
+    from repro.obs import profile as profile_mod
+
+    session = profile_mod.begin_session() if args.profile else None
     failures = 0
-    for eid in chosen:
-        result = ALL_EXPERIMENTS[eid]()
-        result.save()
-        bad = [claim for claim in result.claims if not claim.holds]
-        if bad:
-            failures += len(bad)
+    try:
+        for eid in chosen:
+            result = ALL_EXPERIMENTS[eid]()
+            sweep = None
+            if args.seeds > 0:
+                from repro.bench.stats import run_sweep
+
+                sweep = run_sweep(
+                    eid, nseeds=args.seeds, jobs=args.jobs,
+                    profiled=args.profile,
+                )
+                result.stats = sweep.stats()
+                if session is not None:
+                    for run in sweep.runs:
+                        if run.get("host"):
+                            session.absorb(run["host"])
+                print(sweep.render())
+                failures += len(sweep.failed_claims)
+            result.save()
+            result.save_json()
+            failures += sum(1 for claim in result.claims if not claim.holds)
+            if args.trend:
+                from repro.bench.stats import append_trend, trend_entry
+
+                # per-experiment host numbers come from that sweep's
+                # shards; the whole-run summary lands in BENCH_HOST.json
+                host = sweep.host_summary() if sweep is not None else None
+                if host is None and session is not None:
+                    host = session.merged()
+                append_trend(args.trend, trend_entry(eid, sweep, host))
+    finally:
+        profile_mod.end_session()
+
+    if session is not None:
+        summary = session.merged()
+        path = _write_host_json(summary)
+        print(session.render())
+        print("host profile written to %s" % path)
+
     if failures:
         print("%d claim(s) FAILED" % failures)
         return 1

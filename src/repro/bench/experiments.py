@@ -10,6 +10,8 @@ whose *claims* encode the paper's qualitative statements.  The
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.fs.file import O_CREAT, O_RDWR, SEEK_SET
 from repro.ipc.sysv_shm import IPC_CREAT, IPC_PRIVATE
 from repro.kernel.signals import SIGKILL, SIGUSR1
@@ -1265,6 +1267,7 @@ def run_e15(
     rounds: int = 10,
     step: int = 8_000,
     ncpus: int = 4,
+    seed: Optional[int] = None,
 ):
     """Bonus ablation: the scheduler hot path itself.  A many-group
     fan-out keeps ~ngroups*nmembers processes cycling through wakeup,
@@ -1293,11 +1296,17 @@ def run_e15(
         "rounds": rounds,
         "step": step,
     }
+    # The seed sweep varies legal schedule orderings, but the "place"
+    # and "enqueue" features *bypass* the last_cpu affinity preference —
+    # randomised placement would be measuring the perturber, not the
+    # scheduler the affinity claim is about.
+    perturb = ("wakeup", "select") if seed is not None else None
     measured = {}
     for kind in ("global", "percpu"):
         out = {}
         sim = _run(
-            _e15_main, dict(ctx_proto, out=out), ncpus=ncpus, scheduler=kind
+            _e15_main, dict(ctx_proto, out=out), ncpus=ncpus, scheduler=kind,
+            perturb_seed=seed, perturb_features=perturb,
         )
         sched = sim.kernel.sched
         scan_per_pick = sched.scan_steps / max(sched.picks, 1)
@@ -1326,6 +1335,8 @@ def run_e15(
             ncpus=ncpus,
             scheduler=kind,
             metrics_enabled=False,
+            perturb_seed=seed,
+            perturb_features=perturb,
         )
         measured[kind]["quiet_identical"] = (
             quiet_out["makespan"] == out["makespan"] and quiet.now == sim.now
@@ -1435,6 +1446,7 @@ def run_e16(
     nmaps: int = 24,
     churn_rounds: int = 6,
     ncpus: int = 4,
+    seed: Optional[int] = None,
 ):
     """Bonus ablation: the VM translation hot path itself.  A share group
     with many mappings makes every TLB refill walk the pregion lists; the
@@ -1464,7 +1476,7 @@ def run_e16(
     for mode in ("linear", "indexed"):
         out = {}
         ctx = {"out": out, "nmaps": nmaps, "nmembers": nmembers}
-        sim = System(ncpus=ncpus, vm_index=mode)
+        sim = System(ncpus=ncpus, vm_index=mode, perturb_seed=seed)
         # Host-side probe: total refills across CPUs, zero-cycle to read.
         ctx["snap"] = lambda sim=sim: sum(
             cpu.tlb.misses for cpu in sim.machine.cpus
@@ -1503,7 +1515,10 @@ def run_e16(
         # determinism guard: instrumentation off, same simulated history
         quiet_out = {}
         quiet_ctx = {"out": quiet_out, "nmaps": nmaps, "nmembers": nmembers}
-        quiet = System(ncpus=ncpus, vm_index=mode, metrics_enabled=False)
+        quiet = System(
+            ncpus=ncpus, vm_index=mode, metrics_enabled=False,
+            perturb_seed=seed,
+        )
         quiet_ctx["snap"] = lambda sim=quiet: sum(
             cpu.tlb.misses for cpu in sim.machine.cpus
         )

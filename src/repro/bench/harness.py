@@ -41,6 +41,9 @@ class ExperimentResult:
         self.claims: List[Claim] = []
         self.notes: List[str] = []
         self.counters: Dict = {}  #: optional kstat snapshot(s), see save_json
+        #: optional multi-seed bootstrap summaries attached by the
+        #: ``--seeds`` sweep: ``{row: {metric: {mean, ci_lo, ci_hi, ...}}}``
+        self.stats: Dict = {}
 
     # ------------------------------------------------------------------
 
@@ -118,7 +121,7 @@ class ExperimentResult:
 
     def to_json_dict(self) -> Dict:
         """The experiment as one JSON-serialisable dict."""
-        return {
+        out = {
             "experiment": self.eid,
             "title": self.title,
             "columns": self.columns,
@@ -134,6 +137,9 @@ class ExperimentResult:
             "notes": self.notes,
             "counters": self.counters,
         }
+        if self.stats:
+            out["stats"] = self.stats
+        return out
 
     def save_json(self, directory: Optional[str] = None) -> str:
         """Persist headline numbers + counters as BENCH_<eid>.json."""

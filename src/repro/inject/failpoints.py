@@ -34,6 +34,8 @@ from __future__ import annotations
 import random
 from typing import Dict, Optional
 
+from repro.obs.profile import NULL_PROFILER
+
 #: cycles charged when a ``*.delay`` site fires (lock hold-off injection)
 INJECT_DELAY_CYCLES = 400
 
@@ -140,7 +142,10 @@ class FailPointRegistry:
     ``inject`` kind) is the in-simulation observable.
     """
 
-    __slots__ = ("_plans", "hits", "fired", "_kstat", "_active", "_recording")
+    __slots__ = (
+        "_plans", "hits", "fired", "_kstat", "_active", "_recording",
+        "profile",
+    )
 
     def __init__(self, kstat=None):
         self._plans: Dict[str, FailPlan] = {}
@@ -149,6 +154,8 @@ class FailPointRegistry:
         self._kstat = kstat
         self._active = False
         self._recording = False
+        #: host profiler timing the hit checks (machine swaps in a live one)
+        self.profile = NULL_PROFILER
 
     # ------------------------------------------------------------------
 
@@ -180,6 +187,17 @@ class FailPointRegistry:
 
     def fire(self, site: str) -> bool:
         """Record a hit at ``site``; True when the armed policy fires."""
+        profile = self.profile
+        if profile.enabled:
+            t0 = profile.clock()
+            fired = self._fire(site)
+            profile.leaf("inject.fire", t0)
+            return fired
+        if not self._active:
+            return False
+        return self._fire(site)
+
+    def _fire(self, site: str) -> bool:
         if not self._active:
             return False
         hit_no = self.hits.get(site, 0) + 1

@@ -150,7 +150,13 @@ class Kernel(
         never test ``self.tracer`` themselves.
         """
         if self.tracer is not None:
-            self.tracer.record(kind, pid, detail, ph=ph, cpu=cpu)
+            profile = self.machine.profile
+            if profile.enabled:
+                t0 = profile.clock()
+                self.tracer.record(kind, pid, detail, ph=ph, cpu=cpu)
+                profile.leaf("obs.trace", t0)
+            else:
+                self.tracer.record(kind, pid, detail, ph=ph, cpu=cpu)
 
     def fail(self, site: str) -> bool:
         """Did the failpoint at ``site`` fire?  Host-side, charges nothing."""
@@ -274,6 +280,7 @@ class Kernel(
         proc.syscalls += 1
         self.stats["syscalls"] += 1
         name = getattr(handler, "__name__", "?")
+        entered = self.engine.now
         self.kstat.add("kernel", 0, "syscalls")
         self.pcount(proc, "syscall." + name)
         self.trace("syscall", proc.pid, name, ph="B")
@@ -295,6 +302,9 @@ class Kernel(
             ret = -1
         finally:
             proc.in_kernel = False
+            self.kstat.observe(
+                "kernel", 0, "syscall_cycles", self.engine.now - entered
+            )
             self.trace("syscall", proc.pid, name, ph="E")
         yield kdelay(self.costs.syscall_exit)
         if self.fail("syscall.exit"):

@@ -72,6 +72,7 @@ class Proc:
         self.quantum_left = 0
         self.cpu = None
         self.last_cpu: Optional[int] = None  #: scheduler affinity hint
+        self.runq_since: Optional[int] = None  #: cycle it was last enqueued
         self.in_kernel = False
 
         # pending alarm (engine event), cancelled at exit

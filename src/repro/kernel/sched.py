@@ -145,6 +145,7 @@ class Scheduler:
 
     def _enqueue(self, proc: Proc) -> None:
         engine = self.machine.engine
+        proc.runq_since = engine.now
         if engine.perturbs("enqueue"):
             # Schedule exploration: any queue within the affinity slack
             # of the shallowest is a legal home — let the seeded RNG
@@ -452,6 +453,7 @@ class GlobalScheduler:
         if proc.state is ProcState.ZOMBIE:
             raise SimulationError("wakeup of zombie %r" % proc)
         proc.state = ProcState.RUNNABLE
+        proc.runq_since = self.machine.engine.now
         self._queue.append(proc)
         self.wakeups += 1
         self.machine.kstat.add("kernel", 0, "wakeups")
@@ -464,6 +466,7 @@ class GlobalScheduler:
     def requeue(self, proc: Proc) -> None:
         """A preempted or yielding process goes back to the queue tail."""
         proc.state = ProcState.RUNNABLE
+        proc.runq_since = self.machine.engine.now
         self._queue.append(proc)
 
     def reprioritize(self, proc: Proc) -> None:

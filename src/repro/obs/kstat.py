@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro.obs.profile import NULL_PROFILER
+
 
 class Histogram:
     """A power-of-two-bucketed value distribution (latency style).
@@ -43,12 +45,53 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, pct: float) -> float:
+        """Estimate the ``pct``-th percentile from the bucket counts.
+
+        Walks the buckets in value order until the cumulative count
+        reaches ``pct%`` of the samples, then interpolates linearly
+        inside the crossing bucket's value range (bucket *b* covers
+        ``[2**(b-1), 2**b - 1]``; bucket 0 is exactly the value 0).
+        The estimate is exact at bucket edges and at worst one bucket
+        wide — the usual power-of-two-histogram bargain.
+        """
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError("percentile must be in [0, 100], got %r" % pct)
+        if self.count == 0:
+            return 0.0
+        rank = pct / 100.0 * self.count
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            n = self.buckets[bucket]
+            if cumulative + n >= rank:
+                lo = 0 if bucket == 0 else 1 << (bucket - 1)
+                hi = 0 if bucket == 0 else (1 << bucket) - 1
+                frac = (rank - cumulative) / n
+                return lo + frac * (hi - lo)
+            cumulative += n
+        return float(self.max)  # pragma: no cover - rank <= count always
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
     def as_dict(self) -> dict:
         return {
             "count": self.count,
             "total": self.total,
             "max": self.max,
             "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
             "buckets": dict(sorted(self.buckets.items())),
         }
 
@@ -71,10 +114,12 @@ class KstatRegistry:
     one nested plain-dict view of everything, suitable for JSON.
     """
 
-    __slots__ = ("enabled", "_values", "_hists")
+    __slots__ = ("enabled", "profile", "_values", "_hists")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
+        #: host profiler timing the hook cost (machine swaps in a live one)
+        self.profile = NULL_PROFILER
         #: (kind, ident) -> {name: int}
         self._values: Dict[Tuple[str, int], Dict[str, int]] = {}
         #: (kind, ident) -> {name: Histogram}
@@ -87,24 +132,34 @@ class KstatRegistry:
         """Bump counter ``name`` in scope ``(kind, ident)`` by ``n``."""
         if not self.enabled:
             return
+        profile = self.profile
+        t0 = profile.clock() if profile.enabled else 0.0
         scope = self._values.get((kind, ident))
         if scope is None:
             scope = self._values[(kind, ident)] = {}
         scope[name] = scope.get(name, 0) + n
+        if t0:
+            profile.leaf("obs.kstat", t0)
 
     def set(self, kind: str, ident: int, name: str, value: int) -> None:
         """Set gauge ``name`` (last write wins)."""
         if not self.enabled:
             return
+        profile = self.profile
+        t0 = profile.clock() if profile.enabled else 0.0
         scope = self._values.get((kind, ident))
         if scope is None:
             scope = self._values[(kind, ident)] = {}
         scope[name] = value
+        if t0:
+            profile.leaf("obs.kstat", t0)
 
     def observe(self, kind: str, ident: int, name: str, value: int) -> None:
         """Record ``value`` into histogram ``name``."""
         if not self.enabled:
             return
+        profile = self.profile
+        t0 = profile.clock() if profile.enabled else 0.0
         scope = self._hists.get((kind, ident))
         if scope is None:
             scope = self._hists[(kind, ident)] = {}
@@ -112,6 +167,8 @@ class KstatRegistry:
         if hist is None:
             hist = scope[name] = Histogram()
         hist.add(value)
+        if t0:
+            profile.leaf("obs.kstat", t0)
 
     # ------------------------------------------------------------------
     # reading

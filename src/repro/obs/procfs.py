@@ -130,6 +130,62 @@ def render_locks(lockstats, n: int = 10) -> str:
     return "LOCKS (top %d by wait cycles)\n%s" % (n, lockstats.report(n))
 
 
+def render_latency(kstat) -> str:
+    """Every kstat histogram as a latency table with percentiles.
+
+    One row per (scope, histogram): sample count, mean, p50/p95/p99 and
+    max — the tail-latency view the power-of-two buckets exist for.
+    """
+    rows = []
+    for kind in ("kernel", "cpu", "proc", "group"):
+        for ident in kstat.scopes(kind):
+            hists = kstat._hists.get((kind, ident))
+            if not hists:
+                continue
+            scope = kind if kind == "kernel" else "%s %s" % (kind, ident)
+            for name in sorted(hists):
+                hist = hists[name]
+                rows.append([
+                    scope,
+                    name,
+                    "{:,}".format(hist.count),
+                    "%.1f" % hist.mean,
+                    "%.0f" % hist.p50,
+                    "%.0f" % hist.p95,
+                    "%.0f" % hist.p99,
+                    "{:,}".format(hist.max),
+                ])
+    if not rows:
+        return "LATENCY (cycles)\n(none)"
+    return "LATENCY (cycles)\n" + _table(
+        ["SCOPE", "HISTOGRAM", "COUNT", "MEAN", "P50", "P95", "P99", "MAX"],
+        rows,
+    )
+
+
+def render_layers(system) -> str:
+    """One line naming which observability layers are armed.
+
+    Answers "why is this run slow / why is this report empty" from the
+    report alone: every layer that can change host behavior (or record
+    nothing) states its switch position.
+    """
+    from repro.obs.lockdep import NULL_LOCKDEP
+
+    machine = system.machine
+    kernel = system.kernel
+    flags = [
+        ("kstat", machine.kstat.enabled),
+        ("lockdep", machine.lockdep is not NULL_LOCKDEP),
+        ("inject", bool(machine.inject.armed_sites)),
+        ("profile", machine.profile.enabled),
+        ("trace", kernel.tracer is not None),
+    ]
+    return "layers: " + "  ".join(
+        "%s=%s" % (name, "on" if on else "off") for name, on in flags
+    )
+
+
 def render_system(system, top_locks: int = 10) -> str:
     """The full report: header, processes, groups, CPUs, counters, locks."""
     kernel = system.kernel
@@ -143,10 +199,12 @@ def render_system(system, top_locks: int = 10) -> str:
     )
     sections = [
         header,
+        render_layers(system),
         render_procs(kernel),
         render_groups(kernel),
         render_cpus(kernel),
         render_counters(kernel.kstat, "kernel"),
+        render_latency(kernel.kstat),
         render_locks(machine.lockstats, top_locks),
     ]
     return ("\n\n".join(sections)) + "\n"

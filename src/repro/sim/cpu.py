@@ -40,6 +40,10 @@ class CPU:
         self.kernel = None  #: set by Kernel.boot()
         self.dispatcher = None  #: set by the scheduler at boot
         self._last_asid: Optional[int] = None
+        # Armed host profiling shadows _resume with the timed variant on
+        # this instance; a disarmed CPU keeps the untouched class method.
+        if machine.profile.enabled:
+            self._resume = self._resume_profiled  # type: ignore[method-assign]
         # statistics
         self.busy_cycles = 0
         self.switches = 0
@@ -73,6 +77,11 @@ class CPU:
         asid = proc.asid()
         kstat = self.machine.kstat
         kstat.add("cpu", self.idx, "dispatches")
+        if proc.runq_since is not None:
+            kstat.observe(
+                "kernel", 0, "runq_wait", self.engine.now - proc.runq_since
+            )
+            proc.runq_since = None
         if asid != self._last_asid:
             cost += self.costs.context_switch
             self.switches += 1
@@ -96,6 +105,15 @@ class CPU:
 
     # ------------------------------------------------------------------
     # interpreter
+
+    def _resume_profiled(self, value=None, exc: Optional[BaseException] = None) -> None:
+        """The interpreter dispatch under the ``cpu.interp`` phase timer."""
+        profile = self.machine.profile
+        profile.push("cpu.interp")
+        try:
+            CPU._resume(self, value, exc)
+        finally:
+            profile.pop()
 
     def _resume(self, value=None, exc: Optional[BaseException] = None) -> None:
         """Advance the current process's top frame by one effect."""

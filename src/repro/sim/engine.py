@@ -28,6 +28,7 @@ import random
 from typing import Callable, Iterable, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.profile import NULL_PROFILER
 
 #: every tie-break site the perturbation RNG may be consulted from
 PERTURB_FEATURES = frozenset({"wakeup", "enqueue", "place", "select"})
@@ -79,6 +80,8 @@ class Engine:
         self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
+        #: host-side self-profiler; the machine swaps in a live one
+        self.profile = NULL_PROFILER
         self.seed = seed
         self.rng = random.Random(seed) if seed is not None else None
         self.perturb = (
@@ -127,6 +130,9 @@ class Engine:
         if self._running:
             raise SimulationError("Engine.run() is not re-entrant")
         self._running = True
+        profile = self.profile
+        if profile.enabled:
+            profile.run_begin(self.now, self._events_processed)
         try:
             processed = 0
             while self._queue:
@@ -150,6 +156,8 @@ class Engine:
                 self.now = max(self.now, until)
         finally:
             self._running = False
+            if profile.enabled:
+                profile.run_end(self.now, self._events_processed)
 
     def step(self) -> bool:
         """Process a single event.  Returns ``False`` if the queue is empty."""

@@ -259,3 +259,80 @@ def test_metrics_snapshot_is_json_serialisable():
     doc = json.loads(text)
     assert doc["kstat"]["kernel"]["0"]["syscalls"] > 0
     assert doc["cycles"] == sim.now
+
+
+# ----------------------------------------------------------------------
+# histogram percentiles (bucket -> percentile math pinned)
+
+
+def test_histogram_percentiles_pinned():
+    hist = Histogram()
+    for value in (0, 1, 2, 3, 8):
+        hist.add(value)
+    # buckets: {0: 1, 1: 1, 2: 2, 4: 1}, count 5
+    # p50 rank 2.5 crosses bucket 2 (range [2,3]) at 0.25 -> 2.25
+    assert hist.p50 == pytest.approx(2.25)
+    # p99 rank 4.95 crosses bucket 4 (range [8,15]) at 0.95 -> 14.65
+    assert hist.p99 == pytest.approx(14.65)
+    # the zero bucket is exactly the value 0
+    assert hist.percentile(10.0) == 0.0
+    payload = hist.as_dict()
+    assert payload["p50"] == pytest.approx(2.25)
+    assert payload["p95"] == pytest.approx(hist.percentile(95.0))
+
+
+def test_histogram_percentile_edges():
+    hist = Histogram()
+    assert hist.p50 == 0.0  # empty
+    hist.add(4)  # bucket 3 covers [4, 7]; rank 0.5 of one sample -> 5.5
+    assert hist.p50 == pytest.approx(4 + 0.5 * (7 - 4))
+    with pytest.raises(ValueError):
+        hist.percentile(-1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(100.5)
+
+
+def test_latency_section_surfaces_runq_wait_percentiles():
+    sim, _ = _run_group(members=3)
+    hist = sim.kstat.hist("kernel", 0, "runq_wait")
+    assert hist.count > 0
+    report = sim.report()
+    assert "LATENCY (cycles)" in report
+    assert "runq_wait" in report
+    assert "P95" in report
+
+
+# ----------------------------------------------------------------------
+# the report snapshot: section order + the armed-layers line
+
+
+def test_report_sections_appear_in_order():
+    sim, _ = _run_group(members=2, pages=4)
+    report = sim.report()
+    sections = [
+        "layers: ",
+        "PROCESSES",
+        "SHARE GROUPS",
+        "CPUS",
+        "COUNTERS (kernel)",
+        "LATENCY (cycles)",
+        "LOCKS (top",
+    ]
+    positions = [report.find(section) for section in sections]
+    assert all(position >= 0 for position in positions), positions
+    assert positions == sorted(positions)
+
+
+def test_layers_line_reflects_armed_layers():
+    quiet, _ = _run_group(members=2, pages=4)
+    line = [l for l in quiet.report().splitlines() if l.startswith("layers:")][0]
+    assert "kstat=on" in line
+    assert "lockdep=off" in line
+    assert "inject=off" in line
+    assert "profile=off" in line
+    armed = System(ncpus=2, lockdep=True, profile=True)
+    armed.spawn(_group_main, {"members": 2, "pages": 4})
+    armed.run()
+    line = [l for l in armed.report().splitlines() if l.startswith("layers:")][0]
+    assert "lockdep=on" in line
+    assert "profile=on" in line

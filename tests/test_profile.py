@@ -1,0 +1,173 @@
+"""The host-side self-profiler: phase math, sessions, cycle-identity."""
+
+from repro import PR_SALL, System
+from repro.obs.profile import (
+    NULL_PROFILER,
+    HostProfiler,
+    ProfileSession,
+    active_session,
+    begin_session,
+    end_session,
+)
+
+
+class FakeClock:
+    """A scripted perf_counter: each call returns the next tick."""
+
+    def __init__(self, step=1.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self):
+        self.t += self.step
+        return self.t
+
+
+# ----------------------------------------------------------------------
+# phase accounting with a deterministic clock
+
+
+def test_stack_phases_are_exclusive():
+    prof = HostProfiler(clock=FakeClock())
+    # ticks: push outer@1, push inner@2, pop inner@3, pop outer@4
+    prof.push("outer")
+    prof.push("inner")
+    prof.pop()
+    prof.pop()
+    # outer owns [1,2] and [3,4]; inner owns [2,3]
+    assert prof.seconds["outer"] == 2.0
+    assert prof.seconds["inner"] == 1.0
+    assert prof.hits == {"outer": 1, "inner": 1}
+
+
+def test_leaf_subtracts_from_enclosing_phase():
+    clock = FakeClock()
+    prof = HostProfiler(clock=clock)
+    prof.push("outer")        # @1
+    t0 = prof.clock()         # @2
+    prof.leaf("hook", t0)     # @3: hook owns [2,3], outer owns [1,2]
+    prof.pop()                # @4: outer owns [3,4] too
+    assert prof.seconds["hook"] == 1.0
+    assert prof.seconds["outer"] == 2.0
+    # exclusive attribution: phase seconds sum to the profiled span
+    assert sum(prof.seconds.values()) == 3.0
+
+
+def test_run_bracketing_accumulates_cycles_and_rate():
+    prof = HostProfiler(clock=FakeClock())
+    prof.run_begin(cycles=100, events=5)
+    prof.run_end(cycles=600, events=25)
+    assert prof.runs == 1
+    assert prof.sim_cycles == 500
+    assert prof.events == 20
+    assert prof.wall_seconds > 0.0
+    assert prof.sim_cycles_per_host_sec == 500 / prof.wall_seconds
+    summary = prof.summary()
+    assert summary["phases"]["engine.loop"]["hits"] == 1
+    assert summary["sim_cycles"] == 500
+
+
+def test_null_profiler_is_disarmed_and_inert():
+    assert NULL_PROFILER.enabled is False
+    NULL_PROFILER.push("x")
+    NULL_PROFILER.pop()
+    NULL_PROFILER.leaf("x", 0.0)
+    NULL_PROFILER.run_begin(0, 0)
+    NULL_PROFILER.run_end(9, 9)
+
+
+# ----------------------------------------------------------------------
+# sessions merge profilers and worker summaries
+
+
+def test_session_merges_profilers_and_absorbed_summaries():
+    session = ProfileSession()
+    prof = HostProfiler(clock=FakeClock())
+    prof.run_begin(0, 0)
+    prof.run_end(1000, 10)
+    session.add(prof)
+    session.absorb({
+        "phases": {"cpu.interp": {"seconds": 2.0, "hits": 7}},
+        "wall_seconds": 2.0,
+        "sim_cycles": 4000,
+        "events": 40,
+        "runs": 3,
+    })
+    merged = session.merged()
+    assert merged["profilers"] == 2
+    assert merged["sim_cycles"] == 5000
+    assert merged["runs"] == 4
+    assert merged["phases"]["cpu.interp"]["hits"] == 7
+    assert merged["sim_cycles_per_host_sec"] == (
+        5000 / merged["wall_seconds"]
+    )
+    text = session.render()
+    assert "cpu.interp" in text
+    assert "cycles/host-sec" in text
+
+
+def test_begin_end_session_arm_systems_built_meanwhile():
+    assert active_session() is None
+    session = begin_session()
+    try:
+        sim = System(ncpus=1)
+        assert sim.profile.enabled
+        assert sim.profile in session.profilers
+    finally:
+        assert end_session() is session
+    assert active_session() is None
+    # outside a session the default is disarmed
+    assert System(ncpus=1).profile is NULL_PROFILER
+
+
+# ----------------------------------------------------------------------
+# the load-bearing invariant: profiling cannot move the simulation
+
+
+def _workload(api, ctx):
+    ctx.setdefault("pids", [])
+    for _ in range(3):
+        pid = yield from api.sproc(_member, PR_SALL)
+        ctx["pids"].append(pid)
+    for _ in range(3):
+        yield from api.wait()
+    return 0
+
+
+def _member(api, arg):
+    yield from api.compute(5_000)
+    base = yield from api.sbrk(4096)
+    yield from api.store_word(base, 1)
+    yield from api.load_word(base)
+    return 0
+
+
+def test_profiled_run_is_cycle_identical_to_disarmed():
+    def run(profiled):
+        sim = System(ncpus=2, profile=profiled)
+        ctx = {}
+        sim.spawn(_workload, ctx)
+        sim.run()
+        return sim
+
+    on, off = run(True), run(False)
+    assert on.now == off.now
+    assert on.kstat.snapshot() == off.kstat.snapshot()
+    assert on.profile.enabled and not off.profile.enabled
+    # the armed run actually recorded the hot phases
+    assert on.profile.sim_cycles == on.now
+    assert "cpu.interp" in on.profile.seconds
+    assert "engine.loop" in on.profile.seconds
+
+
+def test_profile_summary_lands_in_metrics_when_armed():
+    sim = System(ncpus=1, profile=True)
+    sim.spawn(_member, 0)
+    sim.run()
+    snapshot = sim.metrics()
+    assert "host" in snapshot
+    assert snapshot["host"]["sim_cycles"] == sim.now
+    disarmed = System(ncpus=1)
+    disarmed.spawn(_member, 0)
+    disarmed.run()
+    assert "host" not in disarmed.metrics()
