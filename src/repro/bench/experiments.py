@@ -34,7 +34,12 @@ def _noop(api, arg):
     yield  # pragma: no cover - marks generator
 
 
-def _run(main, ctx, ncpus=2, **system_kwargs):
+def _run(main, ctx, ncpus=2, seed=None, **system_kwargs):
+    # ``seed`` is the sweep's perturbation seed; experiments that need a
+    # restricted feature set (E15/E16) pass perturb_seed/perturb_features
+    # explicitly, which wins over the default threading here.
+    if seed is not None:
+        system_kwargs.setdefault("perturb_seed", seed)
     sim = System(ncpus=ncpus, **system_kwargs)
     sim.spawn(main, ctx)
     sim.run()
@@ -81,7 +86,7 @@ def _e01_main(api, ctx):
     return 0
 
 
-def run_e01(trials: int = 8):
+def run_e01(trials: int = 8, seed: Optional[int] = None):
     result = ExperimentResult(
         "E1",
         "task creation cost: fork vs sproc vs Mach-style threads",
@@ -97,6 +102,7 @@ def run_e01(trials: int = 8):
                 _e01_main,
                 {"out": out, "mech": mech, "pages": pages, "trials": trials},
                 ncpus=2,
+                seed=seed,
             )
             measured[(mech, pages)] = out["mean"]
             result.add_row(
@@ -164,7 +170,7 @@ def _sleeper(api, arg):
     return 0
 
 
-def run_e02(count: int = 300):
+def run_e02(count: int = 300, seed: Optional[int] = None):
     result = ExperimentResult(
         "E2",
         "syscall overhead: share-group support costs normal processes nothing",
@@ -173,15 +179,16 @@ def run_e02(count: int = 300):
     configs = {}
 
     out = {}
-    _run(_e02_storm, {"out": out, "count": count}, share_groups_enabled=False)
+    _run(_e02_storm, {"out": out, "count": count}, seed=seed,
+         share_groups_enabled=False)
     configs["support compiled out"] = out["per_call"]
 
     out = {}
-    _run(_e02_storm, {"out": out, "count": count})
+    _run(_e02_storm, {"out": out, "count": count}, seed=seed)
     configs["support on, normal process"] = out["per_call"]
 
     out = {}
-    _run(_e02_member_storm, {"out": out, "count": count})
+    _run(_e02_member_storm, {"out": out, "count": count}, seed=seed)
     configs["support on, group member (no pending sync)"] = out["per_call"]
 
     for name, value in configs.items():
@@ -242,7 +249,7 @@ def _e03_main(api, ctx):
     return 0
 
 
-def run_e03(sizes=(2, 4, 8, 16), opens: int = 20):
+def run_e03(sizes=(2, 4, 8, 16), opens: int = 20, seed: Optional[int] = None):
     result = ExperimentResult(
         "E3",
         "non-VM resource updates: cost at the updater and at the members",
@@ -251,7 +258,8 @@ def run_e03(sizes=(2, 4, 8, 16), opens: int = 20):
     measured = {}
     for size in sizes:
         out = {}
-        _run(_e03_main, {"out": out, "size": size, "opens": opens}, ncpus=4)
+        _run(_e03_main, {"out": out, "size": size, "opens": opens}, ncpus=4,
+             seed=seed)
         measured[size] = out
         result.add_row(
             group_size=size,
@@ -315,7 +323,8 @@ def _e04_main(api, ctx):
     return 0
 
 
-def run_e04(npages: int = 48, nprocs_list=(1, 2, 4, 8)):
+def run_e04(npages: int = 48, nprocs_list=(1, 2, 4, 8),
+            seed: Optional[int] = None):
     result = ExperimentResult(
         "E4",
         "concurrent page faults: shared read lock vs exclusive-lock ablation",
@@ -334,6 +343,7 @@ def run_e04(npages: int = 48, nprocs_list=(1, 2, 4, 8)):
                 _e04_main,
                 {"out": out, "nprocs": nprocs, "npages": npages},
                 ncpus=8,
+                seed=seed,
                 **kwargs,
             )
             row[label] = out["cycles"]
@@ -401,7 +411,7 @@ def _e05_main(api, ctx):
     return 0
 
 
-def run_e05(ops: int = 10, ncpus_list=(1, 2, 4, 8)):
+def run_e05(ops: int = 10, ncpus_list=(1, 2, 4, 8), seed: Optional[int] = None):
     result = ExperimentResult(
         "E5",
         "VM operations in a share group: only shrink/detach is expensive",
@@ -410,7 +420,7 @@ def run_e05(ops: int = 10, ncpus_list=(1, 2, 4, 8)):
     measured = {}
     for ncpus in ncpus_list:
         out = {}
-        sim = _run(_e05_main, {"out": out, "ops": ops}, ncpus=ncpus)
+        sim = _run(_e05_main, {"out": out, "ops": ops}, ncpus=ncpus, seed=seed)
         measured[ncpus] = out
         result.counters["ncpus%d" % ncpus] = {
             "kernel": sim.kstat.scope("kernel", 0),
@@ -576,7 +586,7 @@ def _e6_sig_main(api, ctx):
     return 0
 
 
-def run_e06(rounds: int = 200):
+def run_e06(rounds: int = 200, seed: Optional[int] = None):
     result = ExperimentResult(
         "E6",
         "synchronization handoff latency by mechanism",
@@ -592,7 +602,7 @@ def run_e06(rounds: int = 200):
     measured = {}
     for name, main in mains.items():
         out = {}
-        _run(main, {"out": out, "rounds": rounds}, ncpus=2)
+        _run(main, {"out": out, "rounds": rounds}, ncpus=2, seed=seed)
         measured[name] = out["per_round"]
         result.add_row(mechanism=name, cycles_per_roundtrip=round(out["per_round"], 1))
     spin = measured["user spinlock (share group)"]
@@ -617,7 +627,8 @@ def run_e06(rounds: int = 200):
 # ======================================================================
 
 
-def run_e07(nbytes: int = 64 * 1024, chunks=(64, 256, 1024, 4096, 8192)):
+def run_e07(nbytes: int = 64 * 1024, chunks=(64, 256, 1024, 4096, 8192),
+            seed: Optional[int] = None):
     result = ExperimentResult(
         "E7",
         "producer->consumer bandwidth (bytes per 1000 cycles)",
@@ -627,7 +638,9 @@ def run_e07(nbytes: int = 64 * 1024, chunks=(64, 256, 1024, 4096, 8192)):
     for chunk in chunks:
         row = {"chunk": chunk}
         for model in MODELS:
-            metrics = run_producer_consumer(model, nbytes=nbytes, chunk=chunk)
+            metrics = run_producer_consumer(
+                model, nbytes=nbytes, chunk=chunk, perturb_seed=seed
+            )
             row[model] = metrics["bytes_per_kcycle"]
             measured[(model, chunk)] = metrics["bytes_per_kcycle"]
         result.add_row(**row)
@@ -725,7 +738,8 @@ def _e8_per_task_main(api, ctx):
     return 0
 
 
-def run_e08(ntasks: int = 48, mean_cycles: int = 20_000, ncpus: int = 4):
+def run_e08(ntasks: int = 48, mean_cycles: int = 20_000, ncpus: int = 4,
+            seed: Optional[int] = None):
     costs = gen.task_costs(ntasks, mean_cycles)
     serial = sum(costs)
     result = ExperimentResult(
@@ -750,6 +764,7 @@ def run_e08(ntasks: int = 48, mean_cycles: int = 20_000, ncpus: int = 4):
             _e8_pool_main,
             {"out": out, "costs": costs, "nworkers": ncpus, "mech": mech},
             ncpus=ncpus,
+            seed=seed,
         )
         record(label, out["cycles"])
     for mech, label in (
@@ -762,6 +777,7 @@ def run_e08(ntasks: int = 48, mean_cycles: int = 20_000, ncpus: int = 4):
             _e8_per_task_main,
             {"out": out, "costs": costs, "nworkers": ncpus, "mech": mech},
             ncpus=ncpus,
+            seed=seed,
         )
         record(label, out["cycles"])
 
@@ -832,7 +848,8 @@ def _e9_aio_main(api, ctx):
     return 0
 
 
-def run_e09(nblocks: int = 16, block: int = 4096, compute: int = 15_000):
+def run_e09(nblocks: int = 16, block: int = 4096, compute: int = 15_000,
+            seed: Optional[int] = None):
     result = ExperimentResult(
         "E9",
         "asynchronous I/O via PR_SADDR|PR_SFDS workers (section 4 example)",
@@ -843,6 +860,7 @@ def run_e09(nblocks: int = 16, block: int = 4096, compute: int = 15_000):
         _e9_sync_main,
         {"out": out, "nblocks": nblocks, "block": block, "compute": compute},
         ncpus=4,
+        seed=seed,
     )
     sync_cycles = out["cycles"]
     result.add_row(strategy="synchronous read+compute", total_cycles=sync_cycles, vs_sync=1.0)
@@ -859,6 +877,7 @@ def run_e09(nblocks: int = 16, block: int = 4096, compute: int = 15_000):
                 "nworkers": nworkers,
             },
             ncpus=4,
+            seed=seed,
         )
         measured[nworkers] = out["cycles"]
         result.add_row(
@@ -889,7 +908,7 @@ def run_e09(nblocks: int = 16, block: int = 4096, compute: int = 15_000):
 # ======================================================================
 
 
-def run_e10():
+def run_e10(seed: Optional[int] = None):
     result = ExperimentResult(
         "E10",
         "one application, five programming models (executable Figures 1-4)",
@@ -897,10 +916,12 @@ def run_e10():
     )
     stream, par = {}, {}
     for model in MODELS:
-        stream[model] = run_producer_consumer(model, nbytes=32 * 1024, chunk=256)[
-            "cycles"
-        ]
-        par[model] = run_parallel_sum(model, nwords=4096, nworkers=4)["cycles"]
+        stream[model] = run_producer_consumer(
+            model, nbytes=32 * 1024, chunk=256, perturb_seed=seed
+        )["cycles"]
+        par[model] = run_parallel_sum(
+            model, nwords=4096, nworkers=4, perturb_seed=seed
+        )["cycles"]
         result.add_row(
             model=model,
             stream_cycles=stream[model],
@@ -942,7 +963,7 @@ def run_e10():
 # ======================================================================
 
 
-def run_e11(count: int = 300):
+def run_e11(count: int = 300, seed: Optional[int] = None):
     result = ExperimentResult(
         "E11",
         "syscall entry checks: batched flag test vs per-resource tests",
@@ -955,6 +976,7 @@ def run_e11(count: int = 300):
             _e02_member_storm,
             {"out": out, "count": count},
             ncpus=2,
+            seed=seed,
             batched_flag_test=batched,
         )
         measured[label] = out["per_call"]
@@ -1019,12 +1041,18 @@ def _e12_main(api, ctx):
     return 0
 
 
-def run_e12(nmembers: int = 3, rounds: int = 60, step: int = 2000):
+def run_e12(nmembers: int = 3, rounds: int = 60, step: int = 2000,
+            seed: Optional[int] = None):
     result = ExperimentResult(
         "E12",
         "gang scheduling a spin-synchronized group against background load",
         ["gang_mode", "member_phase_cycles", "gang_dispatches"],
     )
+    # Like E15, the sweep varies only wakeup/steal orderings here: the
+    # "enqueue"/"place" features randomise placement, and gang
+    # scheduling's benefit *is* a placement property — perturbing it
+    # measures the perturber, not the gang.
+    perturb = ("wakeup", "select") if seed is not None else None
     measured = {}
     for gang in (False, True):
         out = {}
@@ -1038,6 +1066,8 @@ def run_e12(nmembers: int = 3, rounds: int = 60, step: int = 2000):
                 "gang": gang,
             },
             ncpus=4,
+            perturb_seed=seed,
+            perturb_features=perturb,
         )
         label = "gang" if gang else "independent"
         measured[label] = out["members_done"]
@@ -1087,7 +1117,7 @@ def _e13_main(api, ctx):
     return 0
 
 
-def run_e13(rounds: int = 200):
+def run_e13(rounds: int = 200, seed: Optional[int] = None):
     """Bonus ablation: group members share one address-space ID, so
     switching between them on a CPU is cheap and keeps the TLB warm —
     the quiet win of section 6.2's single shared image."""
@@ -1107,6 +1137,7 @@ def run_e13(rounds: int = 200):
             _e13_main,
             {"out": out, "rounds": rounds, "related": related},
             ncpus=1,
+            seed=seed,
         )
         measured[label] = out["per_round"]
         result.add_row(
@@ -1169,7 +1200,8 @@ def _e14_main(api, ctx):
     return 0
 
 
-def run_e14(nmembers: int = 6, rounds: int = 40, hold: int = 3_000, ncpus: int = 2):
+def run_e14(nmembers: int = 6, rounds: int = 40, hold: int = 3_000,
+            ncpus: int = 2, seed: Optional[int] = None):
     """Bonus ablation: the paper backs pure busy-waiting (section 3) and
     offers gang scheduling for the oversubscribed case (section 8); the
     usync extension solves the same pathology from the lock side by
@@ -1185,6 +1217,10 @@ def run_e14(nmembers: int = 6, rounds: int = 40, hold: int = 3_000, ncpus: int =
         "spin_yield": "spin + sched_yield backoff",
         "hybrid": "spin-then-block (usync ext.)",
     }
+    # Oversubscribed lock handoff is acutely placement-sensitive: who
+    # shares a CPU with the holder decides how long a yield backoff
+    # spins.  The sweep varies wakeup/steal orderings only (E15's rule).
+    perturb = ("wakeup", "select") if seed is not None else None
     measured = {}
     for kind in ("spin", "spin_yield", "hybrid"):
         out = {}
@@ -1198,6 +1234,8 @@ def run_e14(nmembers: int = 6, rounds: int = 40, hold: int = 3_000, ncpus: int =
                 "kind": kind,
             },
             ncpus=ncpus,
+            perturb_seed=seed,
+            perturb_features=perturb,
         )
         assert out["count"] == nmembers * rounds, "lost an increment!"
         measured[kind] = out["cycles"]

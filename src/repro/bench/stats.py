@@ -138,7 +138,14 @@ def extract_metrics(result) -> Dict[str, Dict[str, float]]:
 def _sweep_worker(job):
     """Top-level worker (multiprocessing needs it importable)."""
     eid, seed, profiled, kwargs = job
+    import gc
+
     from repro.obs import profile as profile_mod
+
+    # Same host-side tuning as the CLI entry point: sweep shards are
+    # short-lived, and collector pauses would pollute the profiled wall
+    # time they report.
+    gc.disable()
 
     session = profile_mod.begin_session() if profiled else None
     try:

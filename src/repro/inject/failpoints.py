@@ -187,14 +187,17 @@ class FailPointRegistry:
 
     def fire(self, site: str) -> bool:
         """Record a hit at ``site``; True when the armed policy fires."""
+        if not self._active:
+            # Disarmed probes are hit on every syscall/fault path, so the
+            # no-op case returns before even the profiler bracketing —
+            # there is nothing meaningful to attribute to "inject.fire".
+            return False
         profile = self.profile
         if profile.enabled:
             t0 = profile.clock()
             fired = self._fire(site)
             profile.leaf("inject.fire", t0)
             return fired
-        if not self._active:
-            return False
         return self._fire(site)
 
     def _fire(self, site: str) -> bool:

@@ -101,6 +101,7 @@ class Kernel(
         self.vm_lock_factory = vm_lock_factory
 
         self.tracer = None  #: optional repro.sim.trace.Tracer
+        self.profile = machine.profile  #: host self-profiler (may be NULL)
         self.kstat = machine.kstat  #: the machine's kstat counter registry
         self.inject = machine.inject  #: the machine's failpoint registry
         self.fs = FileSystem()
@@ -150,7 +151,7 @@ class Kernel(
         never test ``self.tracer`` themselves.
         """
         if self.tracer is not None:
-            profile = self.machine.profile
+            profile = self.profile
             if profile.enabled:
                 t0 = profile.clock()
                 self.tracer.record(kind, pid, detail, ph=ph, cpu=cpu)
@@ -165,6 +166,8 @@ class Kernel(
     def pcount(self, proc, name: str, n: int = 1) -> None:
         """Bump a per-process kstat counter (and the group's, if any)."""
         kstat = self.kstat
+        if not kstat.enabled:
+            return
         kstat.add("proc", proc.pid, name, n)
         if proc.shaddr is not None:
             kstat.add("group", getattr(proc.shaddr, "sgid", 0), name, n)
@@ -279,11 +282,16 @@ class Kernel(
         """
         proc.syscalls += 1
         self.stats["syscalls"] += 1
-        name = getattr(handler, "__name__", "?")
+        kstat = self.kstat
+        metrics = kstat.enabled
+        tracing = self.tracer is not None
+        name = getattr(handler, "__name__", "?") if (metrics or tracing) else "?"
         entered = self.engine.now
-        self.kstat.add("kernel", 0, "syscalls")
-        self.pcount(proc, "syscall." + name)
-        self.trace("syscall", proc.pid, name, ph="B")
+        if metrics:
+            kstat.add("kernel", 0, "syscalls")
+            self.pcount(proc, "syscall." + name)
+        if tracing:
+            self.trace("syscall", proc.pid, name, ph="B")
         proc.in_kernel = True
         yield kdelay(self.costs.syscall_entry)
         yield from self.entry_checks(proc)
@@ -302,9 +310,10 @@ class Kernel(
             ret = -1
         finally:
             proc.in_kernel = False
-            self.kstat.observe(
-                "kernel", 0, "syscall_cycles", self.engine.now - entered
-            )
+            if metrics:
+                kstat.observe(
+                    "kernel", 0, "syscall_cycles", self.engine.now - entered
+                )
             self.trace("syscall", proc.pid, name, ph="E")
         yield kdelay(self.costs.syscall_exit)
         if self.fail("syscall.exit"):

@@ -29,7 +29,28 @@ PRI_USER = 20
 
 
 class Proc:
-    """One process."""
+    """One process.
+
+    Slotted: the proc entry is touched on every dispatch, boundary and
+    syscall, so attribute access goes through fixed slots rather than a
+    per-instance dict.  ``api`` is assigned by ``Kernel._new_proc``.
+    """
+
+    __slots__ = (
+        "pid", "name", "state", "pri",
+        "parent", "children", "exit_status",
+        "uarea", "vm",
+        "shaddr", "p_shmask", "p_flag",
+        "task",
+        "pending", "delivering",
+        "frames", "saved_resume", "resume_value", "need_resched",
+        "quantum_left", "cpu", "last_cpu", "runq_since", "in_kernel",
+        "alarm_event",
+        "block_count", "block_sema",
+        "sleeping_on", "sleep_interruptible", "child_wait",
+        "syscalls", "faults",
+        "api",
+    )
 
     # Exposed so synchronization code can set states without importing us.
     RUNNABLE = ProcState.RUNNABLE

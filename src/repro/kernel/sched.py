@@ -76,11 +76,15 @@ class RunQueue:
 
     def peek(self) -> Optional[Tuple[int, int, Proc]]:
         """``(pri, seq, proc)`` of the best entry, or None when empty."""
-        self._prune()
-        if not self._heap:
+        # _prune inlined: peek is called once per run queue per dispatch
+        # decision, so the extra call frame showed up in profiles.
+        heap = self._heap
+        while heap and not heap[0][3]:
+            heapq.heappop(heap)
+        if not heap:
             return None
-        pri, seq, proc, _alive = self._heap[0]
-        return pri, seq, proc
+        entry = heap[0]
+        return entry[0], entry[1], entry[2]
 
     def remove(self, proc: Proc) -> bool:
         entry = self._entries.pop(proc.pid, None)

@@ -11,6 +11,11 @@ User-mode delays are chunked at quantum boundaries.  At every user-mode
 boundary the CPU lets the kernel deliver pending signals and honors
 preemption requests; kernel-mode execution is never preempted, which is
 the classic System V invariant the paper leans on (section 6).
+
+The steady-state hop between ``_resume`` and ``_boundary`` goes through
+``engine.schedule_call`` with the callables prebound in ``__init__``, so
+an interpreter step allocates nothing but the engine's ``Event`` — no
+closures, no fresh bound methods (see ``docs/INTERNALS.md`` §14).
 """
 
 from __future__ import annotations
@@ -25,11 +30,20 @@ from repro.sim.tlb import TLB
 class CPU:
     """One processor of the simulated multiprocessor."""
 
+    __slots__ = (
+        "idx", "machine", "engine", "costs", "kstat", "profile", "tlb",
+        "current", "kernel", "dispatcher", "_last_asid", "_label",
+        "_resume_cb", "_boundary_cb", "_dispatch_cb",
+        "busy_cycles", "switches", "dispatches", "preemptions",
+    )
+
     def __init__(self, idx: int, machine, tlb_capacity: int = 64):
         self.idx = idx
         self.machine = machine
         self.engine = machine.engine
         self.costs = machine.costs
+        self.kstat = machine.kstat
+        self.profile = machine.profile
         self.tlb = TLB(
             tlb_capacity,
             kstat=machine.kstat,
@@ -40,10 +54,16 @@ class CPU:
         self.kernel = None  #: set by Kernel.boot()
         self.dispatcher = None  #: set by the scheduler at boot
         self._last_asid: Optional[int] = None
-        # Armed host profiling shadows _resume with the timed variant on
-        # this instance; a disarmed CPU keeps the untouched class method.
+        self._label = "cpu%d" % idx  #: trace detail, built once
+        # Prebound hot-path callables: one bound method each for the
+        # lifetime of the CPU.  An armed host profiler swaps in the timed
+        # interpreter dispatch; a disarmed CPU pays nothing for it.
         if machine.profile.enabled:
-            self._resume = self._resume_profiled  # type: ignore[method-assign]
+            self._resume_cb = self._resume_profiled
+        else:
+            self._resume_cb = self._resume
+        self._boundary_cb = self._boundary
+        self._dispatch_cb = self._dispatch_boundary
         # statistics
         self.busy_cycles = 0
         self.switches = 0
@@ -75,26 +95,31 @@ class CPU:
         self.dispatches += 1
         cost = self.costs.dispatch
         asid = proc.asid()
-        kstat = self.machine.kstat
-        kstat.add("cpu", self.idx, "dispatches")
+        kstat = self.kstat
+        metrics = kstat.enabled
+        if metrics:
+            kstat.add("cpu", self.idx, "dispatches")
         if proc.runq_since is not None:
-            kstat.observe(
-                "kernel", 0, "runq_wait", self.engine.now - proc.runq_since
-            )
+            if metrics:
+                kstat.observe(
+                    "kernel", 0, "runq_wait", self.engine.now - proc.runq_since
+                )
             proc.runq_since = None
         if asid != self._last_asid:
             cost += self.costs.context_switch
             self.switches += 1
-            kstat.add("cpu", self.idx, "context_switches")
+            if metrics:
+                kstat.add("cpu", self.idx, "context_switches")
         else:
             cost += self.costs.context_switch_same_as
-            kstat.add("cpu", self.idx, "switches_same_as")
+            if metrics:
+                kstat.add("cpu", self.idx, "switches_same_as")
         self._last_asid = asid
-        self._charge(cost)
-        if self.kernel is not None:
-            self.kernel.trace("dispatch", proc.pid, "cpu%d" % self.idx,
-                              ph="B", cpu=self.idx)
-        self.engine.schedule(cost, self._dispatch_boundary)
+        self.busy_cycles += cost
+        kernel = self.kernel
+        if kernel is not None and kernel.tracer is not None:
+            kernel.trace("dispatch", proc.pid, self._label, ph="B", cpu=self.idx)
+        self.engine.schedule(cost, self._dispatch_cb)
 
     def _dispatch_boundary(self) -> None:
         """First boundary after dispatch: continue where the proc left off."""
@@ -108,7 +133,7 @@ class CPU:
 
     def _resume_profiled(self, value=None, exc: Optional[BaseException] = None) -> None:
         """The interpreter dispatch under the ``cpu.interp`` phase timer."""
-        profile = self.machine.profile
+        profile = self.profile
         profile.push("cpu.interp")
         try:
             CPU._resume(self, value, exc)
@@ -133,18 +158,29 @@ class CPU:
             # exec(): throw away the old image, start the new driver.
             proc.frames = [image.driver]
             proc.saved_resume = []
-            self.engine.call_soon(lambda: self._resume(None))
+            self.engine.schedule_call(0, self._resume_cb, None)
             return
         except SimulationError:
             raise
-        except Exception as exc:
+        except Exception as err:
             # An uncaught exception in guest or kernel code is a bug in
             # the workload (or in us); wrap it with enough context to
             # find the culprit, keeping the original traceback chained.
+            # ``err``, not ``exc``: the parameter names the *injected*
+            # throwable and must not be shadowed by what the frame raised.
             raise SimulationError(
                 "pid %d (%s) crashed on CPU%d at cycle %d: %r"
-                % (proc.pid, proc.name, self.idx, self.engine.now, exc)
-            ) from exc
+                % (proc.pid, proc.name, self.idx, self.engine.now, err)
+            ) from err
+        # inline effect interpretation: Delay is ~all of the steady state
+        if type(effect) is Delay:
+            cycles = effect.cycles
+            if effect.user:
+                self._user_delay(proc, cycles)
+            else:
+                self.busy_cycles += cycles
+                self.engine.schedule_call(cycles, self._resume_cb, None)
+            return
         self._interpret(proc, effect)
 
     def _frame_done(self, proc) -> None:
@@ -152,20 +188,20 @@ class CPU:
         proc.frames.pop()
         if proc.frames:
             saved = proc.saved_resume.pop()
-            self.engine.call_soon(lambda: self._boundary(saved))
+            self.engine.schedule_call(0, self._boundary_cb, saved)
         else:
             # The driver fell off the end without exiting; the kernel
             # turns that into an implicit exit(0).
             proc.frames.append(self.kernel.exit_generator(proc, 0))
-            self.engine.call_soon(lambda: self._resume(None))
+            self.engine.schedule_call(0, self._resume_cb, None)
 
     def _interpret(self, proc, effect) -> None:
         if type(effect) is Delay:
             if effect.user:
                 self._user_delay(proc, effect.cycles)
             else:
-                self._charge(effect.cycles)
-                self.engine.schedule(effect.cycles, lambda: self._resume(None))
+                self.busy_cycles += effect.cycles
+                self.engine.schedule_call(effect.cycles, self._resume_cb, None)
             return
         if type(effect) is Block:
             self._deschedule(proc)
@@ -176,8 +212,8 @@ class CPU:
             else:
                 # sched_yield with an empty run queue: stay on the CPU
                 cost = self.costs.spin_poll
-                self._charge(cost)
-                self.engine.schedule(cost, lambda: self._boundary(None))
+                self.busy_cycles += cost
+                self.engine.schedule_call(cost, self._boundary_cb, None)
             return
         raise SimulationError("unknown effect %r from pid %s" % (effect, proc.pid))
 
@@ -192,15 +228,17 @@ class CPU:
         boundary may run its own chunked delays without clobbering the
         interrupted computation's remainder.
         """
-        chunk = min(cycles, max(proc.quantum_left, 1))
-        proc.quantum_left -= chunk
+        quantum_left = proc.quantum_left
+        chunk = min(cycles, quantum_left if quantum_left > 1 else 1)
+        proc.quantum_left = quantum_left - chunk
         remaining = cycles - chunk
-        self._charge(chunk)
+        self.busy_cycles += chunk
         if remaining > 0:
-            token = _ContinueDelay(remaining)
-            self.engine.schedule(chunk, lambda: self._boundary(token))
+            self.engine.schedule_call(
+                chunk, self._boundary_cb, _ContinueDelay(remaining)
+            )
         else:
-            self.engine.schedule(chunk, lambda: self._boundary(None))
+            self.engine.schedule_call(chunk, self._boundary_cb, None)
 
     def _boundary(self, resume_value) -> None:
         """A user-mode boundary: deliver signals, honor preemption, resume."""
@@ -211,7 +249,7 @@ class CPU:
         if delivery is not None:
             proc.saved_resume.append(resume_value)
             proc.frames.append(delivery)
-            self.engine.call_soon(lambda: self._resume(None))
+            self.engine.schedule_call(0, self._resume_cb, None)
             return
         if proc.quantum_left <= 0:
             proc.quantum_left = self.costs.quantum
@@ -223,13 +261,16 @@ class CPU:
             self.preemptions += 1
             self._preempt(proc, resume_value)
             return
-        self._continue(proc, resume_value)
+        if type(resume_value) is _ContinueDelay:
+            self._user_delay(proc, resume_value.remaining)
+        else:
+            self._resume_cb(resume_value)
 
     def _continue(self, proc, resume_value) -> None:
         if type(resume_value) is _ContinueDelay:
             self._user_delay(proc, resume_value.remaining)
         else:
-            self._resume(resume_value)
+            self._resume_cb(resume_value)
 
     # ------------------------------------------------------------------
     # leaving the CPU
@@ -240,10 +281,11 @@ class CPU:
         proc.need_resched = False
         self.current = None
         proc.cpu = None
-        self.machine.kstat.add("cpu", self.idx, "preempt_offs")
-        if self.kernel is not None:
-            self.kernel.trace("dispatch", proc.pid, "cpu%d" % self.idx,
-                              ph="E", cpu=self.idx)
+        if self.kstat.enabled:
+            self.kstat.add("cpu", self.idx, "preempt_offs")
+        kernel = self.kernel
+        if kernel is not None and kernel.tracer is not None:
+            kernel.trace("dispatch", proc.pid, self._label, ph="E", cpu=self.idx)
         self.dispatcher.requeue(proc)
         self.dispatcher.cpu_idle(self)
 
@@ -251,9 +293,9 @@ class CPU:
         """The process blocked; free the CPU."""
         self.current = None
         proc.cpu = None
-        if self.kernel is not None:
-            self.kernel.trace("dispatch", proc.pid, "cpu%d" % self.idx,
-                              ph="E", cpu=self.idx)
+        kernel = self.kernel
+        if kernel is not None and kernel.tracer is not None:
+            kernel.trace("dispatch", proc.pid, self._label, ph="E", cpu=self.idx)
         self.dispatcher.cpu_idle(self)
 
     # ------------------------------------------------------------------

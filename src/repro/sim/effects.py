@@ -76,11 +76,33 @@ class ExecImage(Exception):
         super().__init__("exec image replacement")
 
 
+#: interned kernel delays — the cost model yields a small, heavily reused
+#: set of cycle values, so the steady state allocates no Delay at all.
+#: Delay instances are immutable by convention (the interpreter only
+#: reads them), which is what makes sharing safe.  Bounded so pathological
+#: computed costs cannot grow it without limit.
+_KDELAY_CACHE: dict = {}
+_KDELAY_CACHE_MAX = 4096
+
+
 def kdelay(cycles: int) -> Delay:
     """A kernel-mode (non-preemptible) delay."""
-    return Delay(cycles, user=False)
+    delay = _KDELAY_CACHE.get(cycles)
+    if delay is None:
+        delay = Delay(cycles, user=False)
+        if len(_KDELAY_CACHE) < _KDELAY_CACHE_MAX:
+            _KDELAY_CACHE[cycles] = delay
+    return delay
+
+
+_UDELAY_CACHE: dict = {}
 
 
 def udelay(cycles: int) -> Delay:
     """A user-mode (preemptible) delay."""
-    return Delay(cycles, user=True)
+    delay = _UDELAY_CACHE.get(cycles)
+    if delay is None:
+        delay = Delay(cycles, user=True)
+        if len(_UDELAY_CACHE) < _KDELAY_CACHE_MAX:
+            _UDELAY_CACHE[cycles] = delay
+    return delay

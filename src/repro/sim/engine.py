@@ -19,13 +19,24 @@ explorer (:mod:`repro.check.explore`) visits is exactly reproducible
 from its seed.  ``perturb`` names which tie-break sites may consult the
 RNG (used by the explorer's shrinker); with no seed, ``rng`` is ``None``
 and every call site takes its deterministic default path.
+
+Host-speed notes (see ``docs/INTERNALS.md`` §14): the heap stores
+``(time, seq, event)`` triples so sift comparisons are C-level int
+compares instead of ``Event.__lt__`` calls; cancelled entries are
+reclaimed by threshold-triggered compaction and counted so ``pending``
+is O(1); and the default drain loop batches same-cycle events, hoisting
+the ``until``/backwards-time checks behind a single time-changed test.
+``loop="naive"`` (env ``REPRO_ENGINE_LOOP``) falls back to the seed's
+one-event-at-a-time loop, which must stay cycle-identical — the
+determinism tests diff the two.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import random
-from typing import Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 from repro.obs.profile import NULL_PROFILER
@@ -33,21 +44,66 @@ from repro.obs.profile import NULL_PROFILER
 #: every tie-break site the perturbation RNG may be consulted from
 PERTURB_FEATURES = frozenset({"wakeup", "enqueue", "place", "select"})
 
+#: drain-loop strategies: "fast" batches same-cycle events, "naive" is
+#: the original one-event-at-a-time loop kept as a bit-identical ablation
+ENGINE_LOOP_MODES = ("fast", "naive")
+
+#: distinguishes "no resume token" from a token that is legitimately None
+_NO_TOKEN = object()
+
+#: threshold for compacting cancelled entries out of the heap: at least
+#: this many dead entries *and* at least half the heap
+_COMPACT_MIN_GARBAGE = 64
+
+
+def default_engine_loop() -> str:
+    """The drain loop used when none is requested (env-overridable)."""
+    mode = os.environ.get("REPRO_ENGINE_LOOP", "fast")
+    if mode not in ENGINE_LOOP_MODES:
+        raise SimulationError(
+            "unknown REPRO_ENGINE_LOOP %r (choose from %s)"
+            % (mode, ", ".join(ENGINE_LOOP_MODES))
+        )
+    return mode
+
 
 class Event:
-    """A scheduled callback.  Cancel by calling :meth:`cancel`."""
+    """A scheduled callback.  Cancel by calling :meth:`cancel`.
 
-    __slots__ = ("time", "seq", "fn", "cancelled")
+    ``token`` is the resume-token protocol: when set, the engine fires
+    ``fn(token)`` instead of ``fn()``, so steady-state interpreter hops
+    can reuse one prebound callable instead of allocating a closure per
+    event.  A fired event is marked ``cancelled`` so a late
+    :meth:`cancel` (e.g. clearing an alarm that already fired) stays a
+    no-op and the engine's live-event counter moves exactly once per
+    event.
+    """
 
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
+    __slots__ = ("time", "seq", "fn", "token", "cancelled", "engine")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        fn: Callable[..., None],
+        token: Any = _NO_TOKEN,
+        engine: Optional["Engine"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
+        self.token = token
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        engine = self.engine
+        if engine is not None:
+            engine._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -74,14 +130,28 @@ class Engine:
         self,
         seed: Optional[int] = None,
         perturb: Optional[Iterable[str]] = None,
+        loop: Optional[str] = None,
     ) -> None:
         self.now: int = 0
-        self._queue: List[Event] = []
+        #: min-heap of (time, seq, event) — int-tuple ordering keeps the
+        #: sift comparisons out of Python code, seq uniqueness guarantees
+        #: the Event itself is never compared
+        self._queue: List[Tuple[int, int, Event]] = []
         self._seq: int = 0
         self._events_processed: int = 0
+        self._live: int = 0  #: scheduled, not cancelled, not fired
+        self._garbage: int = 0  #: cancelled entries still in the heap
         self._running = False
         #: host-side self-profiler; the machine swaps in a live one
         self.profile = NULL_PROFILER
+        if loop is None:
+            loop = default_engine_loop()
+        if loop not in ENGINE_LOOP_MODES:
+            raise SimulationError(
+                "unknown engine loop %r (choose from %s)"
+                % (loop, ", ".join(ENGINE_LOOP_MODES))
+            )
+        self.loop = loop
         self.seed = seed
         self.rng = random.Random(seed) if seed is not None else None
         self.perturb = (
@@ -108,14 +178,58 @@ class Engine:
         """
         if delay < 0:
             raise SimulationError("cannot schedule into the past (delay=%d)" % delay)
-        self._seq += 1
-        event = Event(self.now + int(delay), self._seq, fn)
-        heapq.heappush(self._queue, event)
+        seq = self._seq + 1
+        self._seq = seq
+        time = self.now + int(delay)
+        event = Event(time, seq, fn, _NO_TOKEN, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
+        return event
+
+    def schedule_call(self, delay: int, fn: Callable[[Any], None], token: Any) -> Event:
+        """Schedule ``fn(token)`` — the no-closure resume-token protocol.
+
+        ``fn`` is a prebound callable that outlives the event; ``token``
+        carries the per-event state (it may be ``None``).  The hot
+        interpreter loop allocates nothing but the :class:`Event`.
+        """
+        if delay < 0:
+            raise SimulationError("cannot schedule into the past (delay=%d)" % delay)
+        seq = self._seq + 1
+        self._seq = seq
+        time = self.now + int(delay)
+        event = Event(time, seq, fn, token, self)
+        heapq.heappush(self._queue, (time, seq, event))
+        self._live += 1
         return event
 
     def call_soon(self, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` for the current cycle."""
         return self.schedule(0, fn)
+
+    # ------------------------------------------------------------------
+    # heap hygiene
+
+    def _note_cancel(self) -> None:
+        """A live heap entry was cancelled; compact if mostly garbage."""
+        self._live -= 1
+        garbage = self._garbage + 1
+        self._garbage = garbage
+        if garbage >= _COMPACT_MIN_GARBAGE and 2 * garbage >= len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify, preserving identity.
+
+        In-place (slice assignment) so a drain loop holding a local
+        alias to the queue keeps seeing the compacted heap.  Heap order
+        is only a partial order, but pops follow the (time, seq) total
+        order either way, so compaction can never reorder the stream.
+        """
+        queue = self._queue
+        queue[:] = [entry for entry in queue if not entry[2].cancelled]
+        heapq.heapify(queue)
+        self._garbage = 0
 
     # ------------------------------------------------------------------
     # execution
@@ -134,42 +248,103 @@ class Engine:
         if profile.enabled:
             profile.run_begin(self.now, self._events_processed)
         try:
-            processed = 0
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and event.time > until:
-                    self.now = until
-                    return
-                heapq.heappop(self._queue)
-                if event.time < self.now:
-                    raise SimulationError("event queue time went backwards")
-                self.now = event.time
-                event.fn()
-                processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
-                    return
-            if until is not None:
-                self.now = max(self.now, until)
+            if self.loop == "fast":
+                self._drain_fast(until, max_events)
+            else:
+                self._drain_naive(until, max_events)
         finally:
             self._running = False
             if profile.enabled:
                 profile.run_end(self.now, self._events_processed)
 
-    def step(self) -> bool:
-        """Process a single event.  Returns ``False`` if the queue is empty."""
+    def _drain_fast(self, until: Optional[int], max_events: Optional[int]) -> None:
+        """Batched drain: same-cycle events skip the time bookkeeping.
+
+        The ``until`` and backwards-time checks only run when the head
+        timestamp differs from the current cycle, and hot globals are
+        bound to locals.  Event-count accounting is deferred to the
+        ``finally`` so the per-event work is: pop, flag, fire.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        no_token = _NO_TOKEN
+        # budget 0 means unlimited; a non-positive max_events still lets
+        # one event through, exactly like the seed's `processed >= max`
+        budget = max(1, max_events) if max_events is not None else 0
+        processed = 0
+        now = self.now
+        try:
+            while queue:
+                entry = queue[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(queue)
+                    self._garbage -= 1
+                    continue
+                t = entry[0]
+                if t != now:
+                    if until is not None and t > until:
+                        self.now = until
+                        return
+                    if t < now:
+                        raise SimulationError("event queue time went backwards")
+                    now = self.now = t
+                pop(queue)
+                event.cancelled = True
+                self._live -= 1
+                token = event.token
+                if token is no_token:
+                    event.fn()
+                else:
+                    event.fn(token)
+                processed += 1
+                if processed == budget:
+                    return
+            if until is not None and until > now:
+                self.now = until
+        finally:
+            self._events_processed += processed
+
+    def _drain_naive(self, until: Optional[int], max_events: Optional[int]) -> None:
+        """The seed's one-event-at-a-time loop, kept as the ablation."""
+        processed = 0
         while self._queue:
-            event = heapq.heappop(self._queue)
+            time, _, event = self._queue[0]
             if event.cancelled:
+                heapq.heappop(self._queue)
+                self._garbage -= 1
                 continue
-            self.now = event.time
-            event.fn()
+            if until is not None and time > until:
+                self.now = until
+                return
+            heapq.heappop(self._queue)
+            if time < self.now:
+                raise SimulationError("event queue time went backwards")
+            self.now = time
+            event.cancelled = True
+            self._live -= 1
+            token = event.token
+            if token is _NO_TOKEN:
+                event.fn()
+            else:
+                event.fn(token)
+            processed += 1
             self._events_processed += 1
-            return True
-        return False
+            if max_events is not None and processed >= max_events:
+                return
+        if until is not None:
+            self.now = max(self.now, until)
+
+    def step(self) -> bool:
+        """Process a single event.  Returns ``False`` if the queue is empty.
+
+        Runs through the same guarded path as :meth:`run`, so it honors
+        the re-entrancy guard, the backwards-time check, and profiler
+        bracketing that the full loop enforces.
+        """
+        before = self._events_processed
+        self.run(max_events=1)
+        return self._events_processed != before
 
     # ------------------------------------------------------------------
     # introspection
@@ -177,11 +352,11 @@ class Engine:
     @property
     def pending(self) -> int:
         """Number of scheduled, non-cancelled events."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._live
 
     @property
     def events_processed(self) -> int:
         return self._events_processed
 
     def idle(self) -> bool:
-        return self.pending == 0
+        return self._live == 0

@@ -47,6 +47,11 @@ class TLB:
     can report hit rates and shootdown counts.
     """
 
+    __slots__ = (
+        "capacity", "_entries", "_by_asid", "_kstat", "_cpu_idx",
+        "hits", "misses", "flushes", "flush_pages", "shootdowns",
+    )
+
     def __init__(
         self,
         capacity: int = 64,

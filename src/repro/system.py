@@ -54,6 +54,7 @@ class System:
         inject: Optional[Dict[str, str]] = None,
         vm_index: str = "indexed",
         profile: Optional[bool] = None,
+        engine_loop: Optional[str] = None,
     ):
         if profile is None:
             # --profile CLIs open a session; Systems built while one is
@@ -72,6 +73,7 @@ class System:
             perturb=perturb_features,
             vm_index=vm_index,
             profile=profile,
+            engine_loop=engine_loop,
         )
         if inject:
             self.machine.inject.arm_many(inject)

@@ -262,13 +262,18 @@ def run_producer_consumer(
     ncpus: int = 2,
     costs: Optional[CostModel] = None,
     seed: int = 11,
+    perturb_seed: Optional[int] = None,
 ) -> Dict[str, int]:
-    """Run the streaming app in one model; returns verified metrics."""
+    """Run the streaming app in one model; returns verified metrics.
+
+    ``seed`` shapes the payload data; ``perturb_seed`` (distinct on
+    purpose) seeds the engine's schedule perturber.
+    """
     data = gen.payload(nbytes, seed)
     expected = gen.checksum(data)
     out: Dict[str, int] = {}
     ctx = {"out": out, "data": data, "chunk": chunk, "key": 424242}
-    sim = System(ncpus=ncpus, costs=costs)
+    sim = System(ncpus=ncpus, costs=costs, perturb_seed=perturb_seed)
     sim.spawn(_STREAM_MAINS[model], ctx, name=model)
     sim.run()
     if out.get("received") != nbytes or out.get("checksum") != expected:
@@ -495,8 +500,13 @@ def run_parallel_sum(
     ncpus: int = 4,
     costs: Optional[CostModel] = None,
     seed: int = 23,
+    perturb_seed: Optional[int] = None,
 ) -> Dict[str, int]:
-    """Run the data-parallel sum in one model; returns verified metrics."""
+    """Run the data-parallel sum in one model; returns verified metrics.
+
+    ``seed`` shapes the summed values; ``perturb_seed`` (distinct on
+    purpose) seeds the engine's schedule perturber.
+    """
     values = gen.words(nwords, seed)
     expected = sum(values) & 0xFFFFFFFF
     out: Dict[str, int] = {}
@@ -506,7 +516,7 @@ def run_parallel_sum(
         "nworkers": nworkers,
         "key": 31337,
     }
-    sim = System(ncpus=ncpus, costs=costs)
+    sim = System(ncpus=ncpus, costs=costs, perturb_seed=perturb_seed)
     sim.spawn(_SUM_MAINS[model], ctx, name=model)
     sim.run()
     if out.get("total") != expected:
