@@ -1,0 +1,16 @@
+"""Benchmark E17: the flagship multi-tier server capacity sweep.
+
+Runs the quick-scale arrival sweep (the per-PR CI variant); the full
+preset — hundreds of processes, >=1M simulated requests at the top
+arrival rate — runs from ``python -m repro.bench e17 --scale full`` in
+the nightly job.
+"""
+
+from repro.bench.experiments import run_e17
+
+from conftest import drive
+
+
+def test_e17_server(benchmark):
+    """open-loop arrival sweep over the three-tier share-group server"""
+    drive(benchmark, run_e17, scale="quick")

@@ -70,6 +70,10 @@ def main(argv) -> int:
     parser.add_argument("--trend", metavar="PATH",
                         help="append results to the BENCH_TREND.json "
                              "at PATH")
+    parser.add_argument("--scale", choices=("full", "quick"), default=None,
+                        help="workload scale for experiments that take "
+                             "one (E17): full for nightly/acceptance "
+                             "runs, quick for per-PR CI")
     args = parser.parse_args(argv[1:])
 
     if args.list:
@@ -96,14 +100,21 @@ def main(argv) -> int:
     failures = 0
     try:
         for eid in chosen:
-            result = ALL_EXPERIMENTS[eid]()
+            import inspect
+
+            func = ALL_EXPERIMENTS[eid]
+            kwargs = {}
+            if (args.scale is not None
+                    and "scale" in inspect.signature(func).parameters):
+                kwargs["scale"] = args.scale
+            result = func(**kwargs)
             sweep = None
             if args.seeds > 0:
                 from repro.bench.stats import run_sweep
 
                 sweep = run_sweep(
                     eid, nseeds=args.seeds, jobs=args.jobs,
-                    profiled=args.profile,
+                    profiled=args.profile, **kwargs,
                 )
                 result.stats = sweep.stats()
                 if session is not None:

@@ -298,6 +298,58 @@ class FileSyscalls:
         count = yield from self.sys_write(proc, fd, payload)
         return count
 
+    def sys_pread_v(self, proc, fd: int, vaddr: int, nbytes: int, offset: int):
+        """Positional read into a guest buffer; the fd offset is untouched.
+
+        The share-group variant of ``read_v``: ``PR_SFDS`` members share
+        one file-table entry (and so one offset), forcing worker pools
+        to serialize ``lseek``+``read`` under a user lock.  Carrying the
+        offset in the call removes the shared state entirely — regular
+        files only (pipes, sockets and devices have no positions).
+        """
+        if nbytes < 0 or offset < 0:
+            raise SysError(EINVAL)
+        file = proc.uarea.fdtable.get(fd)
+        file.require_readable()
+        yield kdelay(self.costs.file_io_base)
+        inode = file.inode
+        if file.socket is not None or inode.itype is not InodeType.REG:
+            from repro.errors import ESPIPE
+
+            raise SysError(ESPIPE, "pread needs a regular file")
+        yield from self._disk_sleep(proc)
+        data = inode.read_at(offset, nbytes)
+        yield kdelay(self.costs.copyio_per_word * _words(len(data)))
+        self.stats["bytes_read"] += len(data)
+        self.pcount(proc, "bytes_read", len(data))
+        self.trace("io", proc.pid, "pread fd=%d n=%d" % (fd, len(data)))
+        if data:
+            yield from self.copyout(proc, vaddr, data)
+        return len(data)
+
+    def sys_pwrite_v(self, proc, fd: int, vaddr: int, nbytes: int, offset: int):
+        """Positional write from a guest buffer; the fd offset is untouched."""
+        if nbytes < 0 or offset < 0:
+            raise SysError(EINVAL)
+        file = proc.uarea.fdtable.get(fd)
+        file.require_writable()
+        yield kdelay(self.costs.file_io_base)
+        inode = file.inode
+        if file.socket is not None or inode.itype is not InodeType.REG:
+            from repro.errors import ESPIPE
+
+            raise SysError(ESPIPE, "pwrite needs a regular file")
+        if offset + nbytes > proc.uarea.ulimit:
+            raise SysError(EFBIG, "ulimit exceeded")
+        payload = yield from self.copyin(proc, vaddr, nbytes)
+        yield from self._disk_sleep(proc)
+        yield kdelay(self.costs.copyio_per_word * _words(len(payload)))
+        count = inode.write_at(offset, payload)
+        self.stats["bytes_written"] += count
+        self.pcount(proc, "bytes_written", count)
+        self.trace("io", proc.pid, "pwrite fd=%d n=%d" % (fd, count))
+        return count
+
     def sys_lseek(self, proc, fd: int, offset: int, whence: int):
         yield kdelay(self.costs.file_io_base)
         file = proc.uarea.fdtable.get(fd)

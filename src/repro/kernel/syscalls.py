@@ -236,6 +236,20 @@ class UserAPI:
         )
         return result
 
+    def pread_v(self, fd: int, vaddr: int, nbytes: int, offset: int):
+        """Positional read into guest memory (fd offset untouched)."""
+        result = yield from self._call(
+            self.kernel.sys_pread_v(self.proc, fd, vaddr, nbytes, offset)
+        )
+        return result
+
+    def pwrite_v(self, fd: int, vaddr: int, nbytes: int, offset: int):
+        """Positional write from guest memory (fd offset untouched)."""
+        result = yield from self._call(
+            self.kernel.sys_pwrite_v(self.proc, fd, vaddr, nbytes, offset)
+        )
+        return result
+
     def lseek(self, fd: int, offset: int, whence: int = SEEK_SET):
         result = yield from self._call(
             self.kernel.sys_lseek(self.proc, fd, offset, whence)

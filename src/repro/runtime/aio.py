@@ -20,15 +20,20 @@ base, file-position lock word.
 
 from __future__ import annotations
 
+from typing import List
+
 from repro.fs.file import SEEK_SET
 from repro.runtime.shmalloc import Arena
 from repro.runtime.ulocks import USpinLock
-from repro.runtime.workqueue import WorkQueue
+from repro.runtime.workqueue import BlockingWorkQueue, WorkQueue
 from repro.share.mask import PR_SADDR, PR_SFDS
 
 #: request opcodes
 AIO_READ = 0
 AIO_WRITE = 1
+#: opcode flag: the submitter sleeps on the status word (uwait), so the
+#: worker must uwake it after flagging completion
+AIO_NOTIFY = 2
 
 #: request block layout (word offsets)
 _STATUS = 0
@@ -49,20 +54,29 @@ class AioRing:
         self.queue = queue
         self.arena = arena
         self.fd_lock = USpinLock(ctl_base + 8)
-        self.worker_pids = []
+        self.worker_pids: List[int] = []
 
     # ------------------------------------------------------------------
     # setup
 
     @classmethod
-    def create(cls, api, nworkers: int = 2, queue_capacity: int = 64):
-        """Generator: build the ring and start its worker pool."""
+    def create(cls, api, nworkers: int = 2, queue_capacity: int = 64,
+               blocking: bool = False, arena_bytes: int = 64 * 1024):
+        """Generator: build the ring and start its worker pool.
+
+        With ``blocking=True`` the request queue is a
+        :class:`BlockingWorkQueue`, so idle workers park in ``uwait``
+        instead of spin-yielding — essential for long-running server
+        scenarios where rings sit idle between cache misses.
+        """
+        queue_cls = BlockingWorkQueue if blocking else WorkQueue
         ctl_base = yield from api.mmap(4096)
-        queue = yield from WorkQueue.create(api, queue_capacity)
-        arena = yield from Arena.create(api, 64 * 1024)
+        queue = yield from queue_cls.create(api, queue_capacity)
+        arena = yield from Arena.create(api, arena_bytes)
         yield from api.store_word(ctl_base, queue.base)
         yield from api.store_word(ctl_base + 4, arena.base)
         yield from api.store_word(ctl_base + 8, 0)
+        yield from api.store_word(ctl_base + 12, 1 if blocking else 0)
         ring = cls(ctl_base, queue, arena)
         for _ in range(nworkers):
             pid = yield from api.sproc(aio_worker, PR_SADDR | PR_SFDS, ctl_base)
@@ -74,23 +88,53 @@ class AioRing:
         """Generator: bind to a ring created elsewhere in the group."""
         queue_base = yield from api.load_word(ctl_base)
         arena_base = yield from api.load_word(ctl_base + 4)
-        queue = yield from WorkQueue.attach(api, queue_base)
+        blocking = yield from api.load_word(ctl_base + 12)
+        queue_cls = BlockingWorkQueue if blocking else WorkQueue
+        queue = yield from queue_cls.attach(api, queue_base)
         arena = yield from Arena.attach(api, arena_base)
         return cls(ctl_base, queue, arena)
 
     # ------------------------------------------------------------------
     # submission
 
+    def prep_requests(self, api, count: int):
+        """Generator: preallocate ``count`` reusable request blocks.
+
+        A submitter that recycles its own blocks (resubmit only after
+        completion, ``wait_block(..., free=False)``) keeps the arena
+        allocator entirely off the per-I/O path.
+        """
+        blocks = []
+        for _ in range(count):
+            request = yield from self.arena.alloc_words(api, _REQUEST_WORDS)
+            blocks.append(request)
+        return blocks
+
+    def _fill(self, api, request: int, opcode: int, fd: int, buf: int,
+              nbytes: int, offset: int):
+        # status=0, result=0, opcode..offset — one block store
+        yield from api.store(
+            request,
+            b"\x00" * 8 + opcode.to_bytes(4, "little") +
+            fd.to_bytes(4, "little") + buf.to_bytes(4, "little") +
+            nbytes.to_bytes(4, "little") + offset.to_bytes(4, "little"))
+
     def _submit(self, api, opcode: int, fd: int, buf: int, nbytes: int, offset: int):
         request = yield from self.arena.alloc_words(api, _REQUEST_WORDS)
-        yield from api.store_word(request + _OPCODE, opcode)
-        yield from api.store_word(request + _FD, fd)
-        yield from api.store_word(request + _BUF, buf)
-        yield from api.store_word(request + _NBYTES, nbytes)
-        yield from api.store_word(request + _OFFSET, offset)
-        yield from api.store_word(request + _STATUS, 0)
+        yield from self._fill(api, request, opcode, fd, buf, nbytes, offset)
         yield from self.queue.push(api, request)
         return request
+
+    def submit_read_into(self, api, request: int, fd: int, buf: int,
+                         nbytes: int, offset: int):
+        """Generator: stage a notify-mode read into a preallocated
+        block *without* queueing it — batch with :meth:`kick`."""
+        yield from self._fill(
+            api, request, AIO_READ | AIO_NOTIFY, fd, buf, nbytes, offset)
+
+    def kick(self, api, requests):
+        """Generator: queue a batch of staged requests in one go."""
+        yield from self.queue.push_many(api, requests)
 
     def submit_read(self, api, fd: int, buf: int, nbytes: int, offset: int):
         """Generator: queue a read into guest buffer ``buf``; returns a handle."""
@@ -99,6 +143,19 @@ class AioRing:
 
     def submit_write(self, api, fd: int, buf: int, nbytes: int, offset: int):
         handle = yield from self._submit(api, AIO_WRITE, fd, buf, nbytes, offset)
+        return handle
+
+    def submit_read_blocking(self, api, fd: int, buf: int, nbytes: int, offset: int):
+        """Generator: like :meth:`submit_read`, but marks the request so
+        the worker ``uwake``\\ s the status word — pair with
+        :meth:`wait_block`."""
+        handle = yield from self._submit(
+            api, AIO_READ | AIO_NOTIFY, fd, buf, nbytes, offset)
+        return handle
+
+    def submit_write_blocking(self, api, fd: int, buf: int, nbytes: int, offset: int):
+        handle = yield from self._submit(
+            api, AIO_WRITE | AIO_NOTIFY, fd, buf, nbytes, offset)
         return handle
 
     def wait(self, api, handle: int):
@@ -117,6 +174,25 @@ class AioRing:
                 polls = 0
         result = yield from api.load_word(handle + _RESULT)
         yield from self.arena.free(api, handle)
+        return result
+
+    def wait_block(self, api, handle: int, free: bool = True):
+        """Generator: sleep until a ``*_blocking`` submission completes.
+
+        The submitter parks in ``uwait`` on the request's status word;
+        the worker stores the completion flag and then wakes the word
+        (store-before-wake plus the kernel-side re-check makes the
+        sleep race-free).  Returns the I/O result; frees the request
+        unless ``free=False`` (preallocated, reusable blocks).
+        """
+        while True:
+            status = yield from api.load_word(handle + _STATUS)
+            if status:
+                break
+            yield from api.uwait(handle + _STATUS, 0)
+        result = yield from api.load_word(handle + _RESULT)
+        if free:
+            yield from self.arena.free(api, handle)
         return result
 
     def poll(self, api, handle: int):
@@ -147,16 +223,27 @@ def aio_worker(api, ctl_base):
         buf = yield from api.load_word(request + _BUF)
         nbytes = yield from api.load_word(request + _NBYTES)
         offset = yield from api.load_word(request + _OFFSET)
-        # Workers share the descriptor (and its offset) with the whole
-        # group, so positioning must be serialized.
-        yield from ring.fd_lock.acquire(api)
-        try:
-            yield from api.lseek(fd, offset, SEEK_SET)
-            if opcode == AIO_READ:
-                result = yield from api.read_v(fd, buf, nbytes)
+        if opcode & AIO_NOTIFY:
+            # Blocking-mode requests use positional I/O: no shared file
+            # offset, so concurrent workers need no serialization and
+            # disk latencies genuinely overlap.
+            if opcode & AIO_WRITE:
+                result = yield from api.pwrite_v(fd, buf, nbytes, offset)
             else:
-                result = yield from api.write_v(fd, buf, nbytes)
-        finally:
-            yield from ring.fd_lock.release(api)
+                result = yield from api.pread_v(fd, buf, nbytes, offset)
+        else:
+            # Workers share the descriptor (and its offset) with the
+            # whole group, so positioning must be serialized.
+            yield from ring.fd_lock.acquire(api)
+            try:
+                yield from api.lseek(fd, offset, SEEK_SET)
+                if opcode & AIO_WRITE:
+                    result = yield from api.write_v(fd, buf, nbytes)
+                else:
+                    result = yield from api.read_v(fd, buf, nbytes)
+            finally:
+                yield from ring.fd_lock.release(api)
         yield from api.store_word(request + _RESULT, result & 0xFFFFFFFF)
         yield from api.store_word(request + _STATUS, 1)
+        if opcode & AIO_NOTIFY:
+            yield from api.uwake(request + _STATUS, 1)

@@ -1,4 +1,5 @@
-"""Workloads: deterministic generators and the five programming models."""
+"""Workloads: deterministic generators, the five programming models,
+and the flagship multi-tier server (E17)."""
 
 from repro.workloads.generators import (
     checksum,
@@ -14,15 +15,25 @@ from repro.workloads.models import (
     run_parallel_sum,
     run_producer_consumer,
 )
+from repro.workloads.server import (
+    ArrivalSchedule,
+    ServerConfig,
+    ShardedCache,
+    run_server,
+)
 
 __all__ = [
     "MODELS",
+    "ArrivalSchedule",
+    "ServerConfig",
+    "ShardedCache",
     "checksum",
     "lcg",
     "pack_words",
     "payload",
     "run_parallel_sum",
     "run_producer_consumer",
+    "run_server",
     "task_costs",
     "unpack_words",
     "words",

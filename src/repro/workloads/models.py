@@ -22,7 +22,7 @@ time, so a model can never look fast by being wrong.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 from repro.ipc.sysv_shm import IPC_CREAT
 from repro.share.mask import PR_SALL
@@ -263,7 +263,7 @@ def run_producer_consumer(
     costs: Optional[CostModel] = None,
     seed: int = 11,
     perturb_seed: Optional[int] = None,
-) -> Dict[str, int]:
+) -> Dict[str, Any]:
     """Run the streaming app in one model; returns verified metrics.
 
     ``seed`` shapes the payload data; ``perturb_seed`` (distinct on
@@ -501,7 +501,7 @@ def run_parallel_sum(
     costs: Optional[CostModel] = None,
     seed: int = 23,
     perturb_seed: Optional[int] = None,
-) -> Dict[str, int]:
+) -> Dict[str, Any]:
     """Run the data-parallel sum in one model; returns verified metrics.
 
     ``seed`` shapes the summed values; ``perturb_seed`` (distinct on

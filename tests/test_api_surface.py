@@ -18,6 +18,7 @@ VM_CALLS = {
 }
 FILE_CALLS = {
     "open", "creat", "close", "read", "write", "read_v", "write_v",
+    "pread_v", "pwrite_v",
     "lseek", "dup", "dup2", "pipe", "mkdir", "unlink", "link",
     "ftruncate", "readdir", "stat", "fstat", "chdir", "chroot",
     "umask", "ulimit", "errno",

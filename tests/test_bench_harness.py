@@ -81,6 +81,7 @@ def test_all_experiments_registered():
     assert set(ALL_EXPERIMENTS) == {
         "E1", "E2", "E3", "E4", "E5", "E6", "E7",
         "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16",
+        "E17",
     }
     for func in ALL_EXPERIMENTS.values():
         assert callable(func)

@@ -1,0 +1,283 @@
+"""The flagship multi-tier server workload (E17) and its parts.
+
+Covers the deterministic open-loop arrival schedule, the sharded LRU
+cache arena (eviction bounds, LRU order, page verification), the
+futex-style blocking work queue batching, the positional AIO syscalls,
+the O(1) weighted kstat histograms, and the rule that metrics never
+change the simulated outcome.
+"""
+
+from repro import O_CREAT, O_RDWR, PR_SALL, status_code
+from repro.fs.file import SEEK_CUR, SEEK_SET
+from repro.obs.kstat import Histogram, KstatRegistry
+from repro.runtime.shmalloc import Arena
+from repro.runtime.workqueue import BlockingWorkQueue
+from repro.workloads.server import (
+    ArrivalSchedule,
+    ServerConfig,
+    ShardedCache,
+    run_server,
+)
+from tests.conftest import run_program
+
+
+def _tiny_cfg(**overrides):
+    base = dict(
+        ngroups=2, nworkers=2, naio=4, batch=32, keyspace=64,
+        cache_capacity=48, nshards=4, npages=16, nrequests=1_500,
+        rate_per_kcycle=2.0, seed=7,
+    )
+    base.update(overrides)
+    return ServerConfig(**base)
+
+
+# ----------------------------------------------------------------------
+# arrival schedule
+
+
+def test_arrival_schedule_is_deterministic():
+    cfg = _tiny_cfg()
+    one = ArrivalSchedule(cfg)
+    two = ArrivalSchedule(_tiny_cfg())
+    assert [b.offset for b in one.batches] == [b.offset for b in two.batches]
+    assert [b.group for b in one.batches] == [b.group for b in two.batches]
+    assert [b.keys for b in one.batches] == [b.keys for b in two.batches]
+
+
+def test_arrival_schedule_varies_with_seed():
+    one = ArrivalSchedule(_tiny_cfg(seed=7))
+    two = ArrivalSchedule(_tiny_cfg(seed=8))
+    assert ([b.offset for b in one.batches] != [b.offset for b in two.batches]
+            or [b.keys for b in one.batches] != [b.keys for b in two.batches])
+
+
+def test_arrival_schedule_is_open_loop_and_complete():
+    cfg = _tiny_cfg()
+    plan = ArrivalSchedule(cfg)
+    offsets = [b.offset for b in plan.batches]
+    assert offsets == sorted(offsets) and offsets[0] >= 1
+    assert sum(b.nreq for b in plan.batches) == cfg.nrequests
+    for batch in plan.batches:
+        assert 0 <= batch.group < cfg.ngroups
+        assert sum(n for _, n in batch.keys) == batch.nreq
+        assert all(0 <= key < cfg.keyspace for key, _ in batch.keys)
+
+
+# ----------------------------------------------------------------------
+# sharded LRU cache
+
+
+def _drive_cache(api, out, capacity, keyspace, nshards, sequence):
+    """Single-process cache driver: access keys, fault misses in."""
+    arena = yield from Arena.create(api, 1 << 16)
+    cache = yield from ShardedCache.create(
+        api, arena, capacity, keyspace, nshards)
+    hits = misses = evictions = bad = 0
+    for key in sequence:
+        kind, value, entry, victim = yield from cache.access(api, key)
+        if kind == "hit":
+            hits += 1
+            if value != key * 7 + 1:
+                bad += 1
+        else:
+            misses += 1
+            if victim is not None:
+                evictions += 1
+                yield from api.munmap(victim)
+            page = yield from api.mmap(4096)
+            yield from api.store_word(page, key * 7 + 1)
+            yield from cache.fill(api, entry, page)
+    out["hits"] = hits
+    out["misses"] = misses
+    out["evictions"] = evictions
+    out["bad"] = bad
+    out["resident"] = yield from cache.resident(api)
+    out["capacity"] = cache.capacity
+    return 0
+
+
+def test_cache_eviction_stays_within_capacity():
+    # 64 distinct keys through a 16-entry cache, twice: eviction churn,
+    # never more residents than capacity, every hit returns the right
+    # page value.
+    sequence = list(range(64)) * 2
+
+    def main(api, out):
+        code = yield from _drive_cache(api, out, 16, 64, 4, sequence)
+        return code
+
+    out, _ = run_program(main)
+    assert out["bad"] == 0
+    assert out["hits"] + out["misses"] == len(sequence)
+    assert out["evictions"] > 0
+    assert out["resident"] <= out["capacity"]
+
+
+def test_cache_lru_order_single_shard():
+    # capacity 4, one shard: fill 0..3, refresh 0, insert 4 -> the LRU
+    # victim must be key 1 (0 was refreshed), so 0 still hits, 1 misses.
+    sequence = [0, 1, 2, 3, 0, 4, 0, 1]
+
+    def main(api, out):
+        code = yield from _drive_cache(api, out, 4, 16, 1, sequence)
+        return code
+
+    out, _ = run_program(main)
+    assert out["bad"] == 0
+    # hits: second 0 (refresh), third 0 (survived eviction); misses:
+    # 0,1,2,3,4 cold plus 1 after eviction.
+    assert out["hits"] == 2
+    assert out["misses"] == 6
+    assert out["evictions"] == 2
+
+
+# ----------------------------------------------------------------------
+# blocking work queue batching
+
+
+def test_blocking_queue_push_many_delivers_exactly_once():
+    nproducers, nconsumers, per_producer = 3, 3, 60
+
+    def producer(api, ctx):
+        base, start = ctx
+        queue = yield from BlockingWorkQueue.attach(api, base)
+        items = list(range(start, start + per_producer))
+        # mixed batch sizes exercise the partial-room path
+        yield from queue.push_many(api, items[:7])
+        yield from queue.push_many(api, items[7:])
+        return 0
+
+    def consumer(api, ctx):
+        base, sums = ctx
+        queue = yield from BlockingWorkQueue.attach(api, base)
+        got = []
+        while True:
+            item = yield from queue.pop(api)
+            if item is None:
+                break
+            got.append(item)
+        sums.append(got)
+        return 0
+
+    def main(api, out):
+        queue = yield from BlockingWorkQueue.create(api, capacity=8)
+        taken = []
+        for c in range(nconsumers):
+            yield from api.sproc(consumer, PR_SALL, (queue.base, taken))
+        for p in range(nproducers):
+            yield from api.sproc(producer, PR_SALL,
+                                 (queue.base, p * per_producer))
+        codes = []
+        for _ in range(nproducers):
+            _, status = yield from api.wait()
+            codes.append(status_code(status))
+        yield from queue.close(api)
+        for _ in range(nconsumers):
+            _, status = yield from api.wait()
+            codes.append(status_code(status))
+        out["codes"] = codes
+        out["items"] = sorted(sum(taken, []))
+        out["ne_waiters"] = yield from api.load_word(queue._ne_waiters())
+        out["nf_waiters"] = yield from api.load_word(queue._nf_waiters())
+        return 0
+
+    out, _ = run_program(main, ncpus=4)
+    assert out["codes"] == [0] * (nproducers + nconsumers)
+    assert out["items"] == list(range(nproducers * per_producer))
+    assert out["ne_waiters"] == 0 and out["nf_waiters"] == 0
+
+
+# ----------------------------------------------------------------------
+# positional I/O syscalls
+
+
+def test_pread_pwrite_leave_the_fd_offset_alone():
+    def main(api, out):
+        fd = yield from api.open("/pos", O_RDWR | O_CREAT)
+        yield from api.write(fd, b"0123456789abcdef")
+        yield from api.lseek(fd, 3, SEEK_SET)
+
+        buf = yield from api.mmap(4096)
+        n = yield from api.pread_v(fd, buf, 4, 8)
+        out["pread_n"] = n
+        out["pread_data"] = bytes((yield from api.load(buf, 4)))
+
+        yield from api.store(buf, b"WXYZ")
+        n = yield from api.pwrite_v(fd, buf, 4, 0)
+        out["pwrite_n"] = n
+        out["offset_after"] = yield from api.lseek(fd, 0, SEEK_CUR)
+
+        yield from api.lseek(fd, 0, SEEK_SET)
+        out["contents"] = bytes((yield from api.read(fd, 16)))
+        return 0
+
+    out, _ = run_program(main)
+    assert out["pread_n"] == 4 and out["pread_data"] == b"89ab"
+    assert out["pwrite_n"] == 4
+    assert out["offset_after"] == 3
+    assert out["contents"] == b"WXYZ456789abcdef"
+
+
+# ----------------------------------------------------------------------
+# weighted histograms
+
+
+def test_histogram_add_n_matches_repeated_add():
+    one, many = Histogram(), Histogram()
+    for value, n in ((3, 5), (100, 2), (0, 4), (7000, 1)):
+        for _ in range(n):
+            one.add(value)
+        many.add_n(value, n)
+    assert one.count == many.count
+    assert one.total == many.total
+    assert one.buckets == many.buckets
+    assert one.percentile(99) == many.percentile(99)
+    many.add_n(5, 0)
+    assert many.count == one.count
+
+
+def test_kstat_observe_n():
+    kstat = KstatRegistry()
+    kstat.observe_n("kernel", 0, "lat", 64, 10)
+    hist = kstat.hist("kernel", 0, "lat")
+    assert hist.count == 10 and hist.total == 640
+
+
+# ----------------------------------------------------------------------
+# end-to-end server runs (tiny, tier-1 speed)
+
+
+def test_server_small_run_is_sane():
+    out = run_server(_tiny_cfg(), ncpus=4)
+    assert out["completed"] == 1_500
+    assert out["verify_failures"] == 0
+    assert out["hits"] > 0 and out["misses"] > 0
+    assert out["evictions"] > 0
+    sim = out["system"]
+    assert sim.kstat.get("kernel", 0, "shootdown_pages") > 0
+    assert sim.kstat.get("kernel", 0, "server_requests") == 1_500
+    hist = sim.kstat.hist("kernel", 0, "request_latency")
+    assert hist is not None and hist.count == 1_500
+    assert out["p50"] <= out["p95"] <= out["p99"]
+
+
+def test_server_metrics_do_not_change_the_simulation():
+    cfg = _tiny_cfg(nrequests=1_000)
+    on = run_server(cfg, ncpus=4)
+    off = run_server(cfg, ncpus=4, metrics_enabled=False)
+    assert on["sim_now"] == off["sim_now"]
+    assert on["completed"] == off["completed"]
+    assert on["stats"].latencies == off["stats"].latencies
+    assert on["hits"] == off["hits"] and on["misses"] == off["misses"]
+    # and the kstat layer really was off
+    assert off["system"].kstat.get("kernel", 0, "server_requests") == 0
+
+
+def test_server_perturbation_changes_schedule_not_load():
+    base = run_server(_tiny_cfg(nrequests=1_000), ncpus=4)
+    perturbed = run_server(_tiny_cfg(nrequests=1_000), ncpus=4,
+                           perturb_seed=3)
+    assert perturbed["completed"] == base["completed"] == 1_000
+    assert perturbed["offered_per_kcycle"] == base["offered_per_kcycle"]
+    assert perturbed["verify_failures"] == 0
+    assert perturbed["sim_now"] != base["sim_now"]
