@@ -77,6 +77,7 @@ from repro.share.prctl import (
     PR_MAXPPROCS,
     PR_MAXPROCS,
     PR_SETGANG,
+    PR_SETSHMASK,
     PR_SETSTACKSIZE,
     PR_UNSHARE,
 )
@@ -111,6 +112,7 @@ __all__ = [
     "PR_SALL",
     "PR_SDIR",
     "PR_SETGANG",
+    "PR_SETSHMASK",
     "PR_SETSTACKSIZE",
     "PR_SFDS",
     "PR_SID",

@@ -32,7 +32,9 @@ from repro.system import System
 
 #: scenarios the sweep drives by default — racy-counter is fine here
 #: (the judge checks leaks, not final-state equality)
-SWEEP_SCENARIOS = ("fault-storm", "fd-churn", "mmap-churn", "racy-counter")
+SWEEP_SCENARIOS = (
+    "fault-storm", "fd-churn", "mmap-churn", "unshare-churn", "racy-counter"
+)
 
 #: sites that deliver SIGKILL rather than an errno — a stalled guest
 #: protocol is tolerated for these, a dirty kernel state is not

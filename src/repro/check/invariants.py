@@ -17,13 +17,20 @@ The three relationships, straight from the paper:
 * **fd refcounts** (section 6.3): an open file's reference count equals
   the descriptor slots naming it across all live processes plus the one
   reference each share group's ``s_ofile`` copy holds.
+* **shmask consistency** (the dynamic-unshare lifecycle): a process's
+  share mask, its sync flags, and its VM attachment must agree — a
+  cleared ``PR_SADDR`` means a private address space, a set one means
+  the group's, and a pending sync flag is only legal while the matching
+  mask bit is still set.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, List
 
+from repro.kernel.flags import ALL_SYNC
 from repro.mem.frames import PAGE_SHIFT
+from repro.share.mask import NONVM_SYNC_BITS, PR_SADDR
 
 
 def _live_procs(sim) -> List:
@@ -171,6 +178,60 @@ def check_fd_refcounts(sim) -> List[str]:
 
 
 # ----------------------------------------------------------------------
+# share mask vs actual resource attachment
+
+def check_shmask_consistency(sim) -> List[str]:
+    """A proc's share mask must agree with what it actually shares.
+
+    Outside a group the mask, the sync flags, and the VM attachment are
+    all clear.  Inside one, a set ``PR_SADDR`` means the proc runs on
+    the group's shared VM and a cleared one means a private space (a
+    completed detach); a pending sync flag without its mask bit would
+    make ``sync_on_entry`` overwrite a privatized resource.  A member
+    with mask 0 is *not* flagged: ``sproc`` deliberately enrolls even
+    mask-0 children in the group.
+    """
+    findings = []
+    for proc in _live_procs(sim):
+        block = proc.shaddr
+        mask = proc.p_shmask
+        sync = proc.p_flag & ALL_SYNC
+        if block is None:
+            if mask != 0:
+                findings.append(
+                    "pid %d: share mask %#x but no share group" % (proc.pid, mask)
+                )
+            if sync != 0:
+                findings.append(
+                    "pid %d: sync flags %#x but no share group" % (proc.pid, sync)
+                )
+            if proc.vm.shared is not None:
+                findings.append(
+                    "pid %d: attached to a shared VM but no share group"
+                    % proc.pid
+                )
+            continue
+        if mask & PR_SADDR:
+            if proc.vm.shared is not block.shared_vm:
+                findings.append(
+                    "pid %d: PR_SADDR set but not running on the group's "
+                    "shared VM" % proc.pid
+                )
+        elif proc.vm.shared is not None:
+            findings.append(
+                "pid %d: PR_SADDR clear but still attached to a shared VM"
+                % proc.pid
+            )
+        for pr_bit, sync_bit in sorted(NONVM_SYNC_BITS.items()):
+            if sync & sync_bit and not mask & pr_bit:
+                findings.append(
+                    "pid %d: sync flag %#x pending for unshared resource "
+                    "bit %#x" % (proc.pid, sync_bit, pr_bit)
+                )
+    return findings
+
+
+# ----------------------------------------------------------------------
 
 #: name -> checker, the order reports list them in
 CHECKERS = {
@@ -178,6 +239,7 @@ CHECKERS = {
     "pregion-tlb": check_pregion_tlb,
     "tlb-asid-index": check_tlb_asid_index,
     "fd-refcounts": check_fd_refcounts,
+    "shmask-consistency": check_shmask_consistency,
 }
 
 

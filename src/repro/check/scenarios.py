@@ -19,7 +19,16 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from repro.fs.file import O_CREAT, O_RDWR
 from repro.mem.frames import PAGE_SIZE
-from repro.share.mask import PR_SALL
+from repro.share.mask import (
+    PR_SADDR,
+    PR_SALL,
+    PR_SDIR,
+    PR_SFDS,
+    PR_SID,
+    PR_SULIMIT,
+    PR_SUMASK,
+)
+from repro.share.prctl import PR_SETSHMASK, PR_UNSHARE
 from repro.system import System
 
 
@@ -229,6 +238,101 @@ def _mmap_churn_main(api, out):
 
 
 # ----------------------------------------------------------------------
+# unshare-churn: members race transactional unshare against faults,
+# fd churn, and member exit (the dynamic sharing lifecycle)
+
+_UC_SLOTS = 4
+_UC_CONST = 4
+
+
+def _uc_lifecycle(api, arg):
+    """Full lifecycle: share everything, then peel resources off in
+    stages — fds+misc first, then the address space, then the rest
+    (departing the group) — churning between stages."""
+    out, base, index = arg
+    slot = base + index * PAGE_SIZE
+    yield from api.store_word(slot, 100 + index)
+    fd = yield from api.open("/uc-%d" % index, O_RDWR | O_CREAT)
+    if fd != -1:
+        yield from api.write(fd, b"shared")
+    yield from api.prctl(PR_UNSHARE, PR_SFDS | PR_SUMASK | PR_SULIMIT)
+    if fd != -1:
+        yield from api.close(fd)  # private close after the fd detach
+    priv = yield from api.open("/uc-priv-%d" % index, O_RDWR | O_CREAT)
+    if priv != -1:
+        yield from api.write(priv, b"private")
+        yield from api.close(priv)
+    yield from api.store_word(slot, 200 + index)  # still PR_SADDR-shared
+    yield from api.prctl(PR_UNSHARE, PR_SADDR)
+    yield from api.store_word(slot, 900 + index)  # private COW break
+    out["lifecycle-%d" % index] = yield from api.load_word(slot)
+    yield from api.prctl(PR_UNSHARE, PR_SDIR | PR_SID)  # mask -> 0: departs
+    return 0
+
+
+def _uc_tightener(api, arg):
+    """PR_SETSHMASK down to VM+cwd only, then private fd traffic."""
+    out, base, index = arg
+    slot = base + index * PAGE_SIZE
+    yield from api.store_word(slot, 300 + index)
+    yield from api.prctl(PR_SETSHMASK, PR_SADDR | PR_SDIR)
+    fd = yield from api.open("/uc-tight", O_RDWR | O_CREAT)
+    if fd != -1:
+        yield from api.close(fd)
+    out["tightener"] = yield from api.load_word(slot)
+    return 0
+
+
+def _uc_exiter(api, arg):
+    """Exits immediately: races the others' copy-outs against departure."""
+    base, index = arg
+    yield from api.store_word(base + index * PAGE_SIZE, 400 + index)
+    return 0
+
+
+def _uc_faulter(api, arg):
+    """Rescans constant shared pages while the others detach around it."""
+    out, base = arg
+    total = 0
+    for _round in range(3):
+        for page in range(_UC_SLOTS, _UC_SLOTS + _UC_CONST):
+            total += yield from api.load_word(base + page * PAGE_SIZE)
+        yield from api.yield_cpu()
+    out["faulter"] = total
+    return 0
+
+
+def _unshare_churn_main(api, out):
+    base = yield from api.mmap((_UC_SLOTS + _UC_CONST) * PAGE_SIZE)
+    if base == -1:
+        return 1
+    for page in range(_UC_CONST):
+        yield from api.store_word(
+            base + (_UC_SLOTS + page) * PAGE_SIZE, 7 + page
+        )
+    started = 0
+    for entry, arg in (
+        (_uc_lifecycle, (out, base, 0)),
+        (_uc_lifecycle, (out, base, 1)),
+        (_uc_tightener, (out, base, 2)),
+        (_uc_exiter, (base, 3)),
+        (_uc_faulter, (out, base)),
+    ):
+        pid = yield from api.sproc(entry, PR_SALL, arg)
+        if pid != -1:
+            started += 1
+    for _ in range(started):
+        yield from api.wait()
+    # The shared side of every slot: lifecycle members' last *shared*
+    # store wins (their 900+i store hit a private clone).
+    out["shared-0"] = yield from api.load_word(base)
+    out["shared-1"] = yield from api.load_word(base + PAGE_SIZE)
+    out["shared-2"] = yield from api.load_word(base + 2 * PAGE_SIZE)
+    out["exiter"] = yield from api.load_word(base + 3 * PAGE_SIZE)
+    return 0
+
+
+# ----------------------------------------------------------------------
 # racy-counter: a deliberate lost-update race (test fixture)
 
 _RC_PROCS = 4
@@ -278,6 +382,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "members mmap/munmap private windows while a faulter rescans",
         ),
         Scenario(
+            "unshare-churn", _unshare_churn_main, 4,
+            "members race transactional unshare against faults, fd churn "
+            "and member exit",
+        ),
+        Scenario(
             "racy-counter", _racy_counter_main, 2,
             "deliberate lost-update race; final count is schedule-dependent",
         ),
@@ -286,4 +395,4 @@ SCENARIOS: Dict[str, Scenario] = {
 
 #: the scenarios ``python -m repro.check`` explores by default —
 #: everything whose final state must be schedule independent
-DEFAULT_SCENARIOS = ("fault-storm", "fd-churn", "mmap-churn")
+DEFAULT_SCENARIOS = ("fault-storm", "fd-churn", "mmap-churn", "unshare-churn")

@@ -58,6 +58,10 @@ SITES: Dict[str, str] = {
     "sproc.proc": "process table slot in sproc (EAGAIN)",
     "sproc.kstack": "child kernel stack after the child joined the group (ENOMEM)",
     "mmap.region": "address range allocation in mmap (ENOMEM)",
+    "unshare.fds": "fd slot copy-out during PR_UNSHARE (ENOMEM)",
+    "unshare.aspace": "private address-space allocation for the PR_SADDR detach (ENOMEM)",
+    "unshare.pregion": "per-pregion copy-out of the shared image (ENOMEM)",
+    "unshare.uarea": "private u-area resource copy during PR_UNSHARE (ENOMEM)",
     "wait.sleep": "signal arrives before the wait() child sleep (EINTR)",
     "sem.sleep": "signal arrives before the semop sleep (EINTR)",
     "msg.snd.sleep": "signal arrives before the msgsnd sleep (EINTR)",

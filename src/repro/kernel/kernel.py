@@ -123,7 +123,7 @@ class Kernel(
                 "signals_delivered", "signal_deaths", "opens", "pipes",
                 "mmaps", "munmaps", "bytes_read", "bytes_written",
                 "thread_creates", "thread_exits", "sync_entries", "oom_kills",
-                "uwaits", "uwakes",
+                "uwaits", "uwakes", "unshares", "unshare_unwinds",
             )
         }
 

@@ -34,9 +34,11 @@ from repro.kernel.signals import (
 from repro.mem.frames import PAGE_MASK, PAGE_SHIFT
 from repro.mem.region import RegionType
 from repro.share import prctl as prctl_mod
+from repro.share import resources
 from repro.share import sproc as sproc_mod
+from repro.share import unshare as unshare_mod
 from repro.share import vmshare
-from repro.share.mask import PR_SADDR
+from repro.share.mask import PR_SADDR, PR_SALL, PR_SFDS
 from repro.sim.effects import ExecImage as _ExecTaken
 from repro.sim.effects import kdelay
 from repro.sync.semaphore import Semaphore
@@ -267,9 +269,15 @@ class ProcSyscalls:
         proc.vm.teardown_private()
         if proc.vm.shared is None:
             self._retire_asid(proc.vm.asid)
-        if keep_group and proc.shaddr is not None:
+        if (
+            keep_group
+            and proc.shaddr is not None
+            and proc.p_shmask & (PR_SALL & ~PR_SADDR)
+        ):
             proc.p_shmask &= ~PR_SADDR
         else:
+            # No non-VM resources left to share (or no extension asked
+            # for): membership would be pure bookkeeping, so leave.
             yield from self._leave_group(proc)
         proc.vm = self.build_image_vm(image, ua.stack_max)
         ua.reset_handlers()
@@ -364,6 +372,106 @@ class ProcSyscalls:
             self._retire_asid(shaddr.shared_vm.asid)
             shaddr.free(self.dispose_file)
             self.stats["groups_freed"] += 1
+
+    # ------------------------------------------------------------------
+    # runtime unshare (ROADMAP #4: prctl PR_UNSHARE / PR_SETSHMASK)
+
+    def do_unshare(self, proc, value: int):
+        """Generator: transactionally stop sharing the resources in
+        ``value``; returns the new share mask (0 once the caller has left
+        the group entirely).
+
+        The copy-out order — ``s_fupdsema`` -> vm update lock ->
+        ``s_listlock`` — is pinned by tests/test_lockdep.py.  Any failure
+        before the commit unwinds through :meth:`_unwind_unshare` and
+        leaves the caller exactly as it was: still a full member, with
+        every staged private copy torn back down.
+        """
+        unshare_mod.validate_mask(value)
+        if proc.shaddr is None:
+            raise SysError(EINVAL, "not in a share group")
+        yield kdelay(self.costs.flag_batch_test)
+        drop = value & proc.p_shmask & PR_SALL
+        if not drop:
+            return proc.p_shmask
+        shaddr = proc.shaddr
+        self.stats["unshares"] += 1
+        self.kstat.add("kernel", 0, "unshare_calls")
+        self.pcount(proc, "unshare_calls")
+        staged = {"fds": None, "vm": None}
+        vm_locked = False
+        # Holding the file-update semaphore for the whole transaction
+        # keeps concurrent update_files() calls from mutating s_ofile
+        # between the final sync and the commit.
+        yield from shaddr.s_fupdsema.p(proc)
+        try:
+            try:
+                # Catch up with any pending group updates first: the
+                # staged private copies must be of the freshest state.
+                yield from resources.sync_on_entry(self, proc)
+                if drop & unshare_mod.MISC_BITS:
+                    yield kdelay(self.costs.uarea_copy)
+                    if self.fail("unshare.uarea"):
+                        raise SysError(
+                            ENOMEM, "injected: private u-area resources"
+                        )
+                if drop & PR_SFDS:
+                    yield from unshare_mod.copy_out_fds(self, proc, staged)
+                if drop & PR_SADDR and vmshare.sharing_vm(proc):
+                    yield from shaddr.vm_lock.acquire_update(proc)
+                    vm_locked = True
+                    yield from unshare_mod.copy_out_aspace(self, proc, staged)
+                    # Cloning marked resident shared pages COW on both
+                    # sides: every member's stale writable translations
+                    # must go while the update lock is still held.
+                    yield from vmshare.shootdown(self, proc)
+            except SysError:
+                yield from self._unwind_unshare(proc, staged)
+                raise
+            unshare_mod.commit_unshare(self, proc, drop, staged)
+            self.trace(
+                "unshare", proc.pid,
+                "drop=%#x mask=%#x" % (drop, proc.p_shmask),
+            )
+            if staged["vm"] is not None:
+                # switching onto the private page tables / fresh ASID
+                yield kdelay(self.costs.tlb_flush_local)
+            if proc.p_shmask & PR_SALL == 0:
+                # Nothing shared any more: depart, under the same locks
+                # the copy-out took (a last-out departure tears down the
+                # shared pregion list, which needs the update lock we may
+                # already hold).
+                yield from self._leave_group(proc)
+        finally:
+            if vm_locked:
+                yield from shaddr.vm_lock.release_update(proc)
+            shaddr.s_fupdsema.v()
+        return proc.p_shmask
+
+    def _unwind_unshare(self, proc, staged):
+        """Generator: undo a partially staged unshare, newest piece first.
+
+        The mirror of :meth:`_unwind_sproc`.  Nothing was committed, so
+        the caller is still a full group member and only the staged
+        private copies are torn down.  Shared pages the copy-out already
+        COW-marked keep their marks (harmless, exactly as in the fork
+        unwind: the next write breaks them back to sole ownership), but
+        stale writable translations for them must still be shot down.
+        """
+        vm = staged["vm"]
+        if vm is not None:
+            yield from vmshare.shootdown(self, proc)
+            vm.teardown_private()
+            self._retire_asid(vm.asid)
+            staged["vm"] = None
+        fresh = staged["fds"]
+        if fresh is not None:
+            for file in fresh.close_all():
+                self.dispose_file(file)
+            staged["fds"] = None
+        self.stats["unshare_unwinds"] += 1
+        self.kstat.add("kernel", 0, "unshare_unwinds")
+        self.pcount(proc, "unshare_unwinds")
 
     def sys_wait(self, proc):
         """Wait for a child to die; returns ``(pid, status)``."""

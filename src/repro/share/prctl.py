@@ -19,16 +19,24 @@ clearly marked as such:
 ``PR_SETGANG`` / ``PR_GETGANG``
     Gang-scheduling hint for the whole group.
 ``PR_UNSHARE``
-    Stop sharing the non-VM resources named by the mask argument.
+    Transactionally stop sharing the resources named by the mask
+    argument — including ``PR_SADDR`` (a copy-on-write detach onto a
+    fresh private address space).  Dropping the last shared bit leaves
+    the group.  Bits outside ``PR_SALL`` are ``EINVAL``.
+``PR_SETSHMASK``
+    Install a new share mask; strictly tighten-only (the new mask must
+    be a subset of the current one — widening is ``EINVAL``, mirroring
+    the strict-inheritance rule for ``sproc``).  Implemented as
+    ``PR_UNSHARE`` of the difference.
 ``PR_GETSHMASK``
     The caller's current share mask.
 """
 
 from __future__ import annotations
 
-from repro.errors import EINVAL, SysError
+from repro.errors import EINVAL, EPERM, ESRCH, SysError
 from repro.mem.frames import PAGE_SIZE
-from repro.share.mask import PR_SADDR
+from repro.share.mask import PR_SALL
 from repro.sim.effects import kdelay
 
 PR_MAXPROCS = 1
@@ -49,6 +57,8 @@ PR_SETGROUPPRI = 105
 #: group could be conveniently blocked or unblocked")
 PR_BLOCKGRP = 106
 PR_UNBLKGRP = 107
+#: tighten-only runtime replacement of the whole share mask
+PR_SETSHMASK = 108
 
 #: smallest stack reservation prctl will accept
 MIN_STACK = 4 * PAGE_SIZE
@@ -80,22 +90,38 @@ def prctl(kernel, proc, option: int, value: int = 0, value2: int = 0):
             return 0
         return 1 if proc.shaddr.gang else 0
     if option == PR_UNSHARE:
+        result = yield from kernel.do_unshare(proc, value)
+        return result
+    if option == PR_SETSHMASK:
+        if value & ~PR_SALL:
+            raise SysError(EINVAL, "mask %#x has bits outside PR_SALL" % value)
         if proc.shaddr is None:
             raise SysError(EINVAL, "not in a share group")
-        if value & PR_SADDR:
-            raise SysError(EINVAL, "cannot stop sharing the address space")
-        proc.p_shmask &= ~value
-        return proc.p_shmask
+        current = proc.p_shmask & PR_SALL
+        if value & ~current:
+            raise SysError(EINVAL, "PR_SETSHMASK may only tighten the mask")
+        result = yield from kernel.do_unshare(proc, current & ~value)
+        return result
     if option == PR_GETSHMASK:
         return proc.p_shmask if proc.shaddr is not None else 0
     if option in (PR_BLOCKGRP, PR_UNBLKGRP):
-        if proc.shaddr is None:
+        shaddr = proc.shaddr
+        if shaddr is None:
             raise SysError(EINVAL, "not in a share group")
-        for member in proc.shaddr.other_members(proc):
-            if option == PR_BLOCKGRP:
-                yield from kernel.sys_blockproc(proc, member.pid)
-            else:
-                yield from kernel.sys_unblockproc(proc, member.pid)
+        for member in shaddr.other_members(proc):
+            # The snapshot can race a member's exit or an unshare that
+            # drops it out of the group: skip anyone no longer a live
+            # member, and tolerate an ESRCH from the call itself.
+            if not member.alive() or member.shaddr is not shaddr:
+                continue
+            try:
+                if option == PR_BLOCKGRP:
+                    yield from kernel.sys_blockproc(proc, member.pid)
+                else:
+                    yield from kernel.sys_unblockproc(proc, member.pid)
+            except SysError as exc:
+                if exc.errno != ESRCH:
+                    raise
         return 0
     if option == PR_SETGROUPPRI:
         if proc.shaddr is None:
@@ -103,8 +129,6 @@ def prctl(kernel, proc, option: int, value: int = 0, value2: int = 0):
         if not 0 <= value <= 39:
             raise SysError(EINVAL, "priority out of range")
         if value < proc.pri and proc.uarea.uid != 0:
-            from repro.errors import EPERM
-
             raise SysError(EPERM, "only root may raise priority")
         for member in proc.shaddr.members():
             member.pri = int(value)

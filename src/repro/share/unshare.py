@@ -1,0 +1,160 @@
+"""Transactional runtime unshare: tearing resources out of a share group.
+
+``prctl(PR_UNSHARE, mask)`` — and the symmetric tighten-only
+``PR_SETSHMASK`` — is the reverse of ``sproc()``: the calling member
+stops sharing the named resources and receives private copies (ROADMAP
+item #4; Linux's ``unshare(2)`` is the direct descendant of this
+interface).  Every copy-out step can fail, injected or real, so the work
+is *staged*: fresh private structures are built first while the shared
+ones stay untouched, then installed in one host-atomic commit.  On any
+failure ``Kernel._unwind_unshare`` tears the staged pieces down
+newest-first — the mirror of ``_unwind_sproc`` — and the caller is left
+exactly as it was: still a full member, invariants clean.
+
+Copy-out rules, per resource class:
+
+* **file descriptors** (``PR_SFDS``): a fresh descriptor table is
+  populated slot by slot, each copied file gaining a reference (the
+  ``unshare.fds`` failpoint fires per slot).  On commit the old table's
+  references are released through the kernel's dispose routine; the
+  group's authoritative ``s_ofile`` copy is untouched, so the other
+  members keep sharing.
+* **miscellaneous u-area values** (``PR_SULIMIT``/``PR_SUMASK``/
+  ``PR_SDIR``/``PR_SID``): the u-area already holds per-process copies —
+  "sharing" them is the sync-on-entry protocol — so privatization is a
+  final ``sync_on_entry`` followed by dropping the mask and sync bits.
+  The ``unshare.uarea`` failpoint models the private resource-block
+  allocation a real kernel would perform here.
+* **the address space** (``PR_SADDR``): the big one.  A fresh
+  :class:`~repro.mem.addrspace.AddressSpace` with its own ASID is built
+  under the group's update lock (``unshare.aspace``); every shared
+  pregion is cloned copy-on-write into it (``unshare.pregion`` per
+  clone) exactly like a fork image, private pregions — the PRDA and any
+  ``PR_PRIVDATA`` shadows — move across on commit, and the group's ASID
+  is shot down on every CPU because resident pages just became COW on
+  *both* sides.  The member's old shared stack pregion stays on the
+  shared list, exactly as it would if the member exited; the detaching
+  process keeps running on its private clone and ``s_refcnt`` is only
+  dropped when the mask reaches zero and the member leaves the group.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EINVAL, ENOMEM, SysError
+from repro.fs.fdtable import FDTable
+from repro.mem.addrspace import AddressSpace
+from repro.mem.pregion import Pregion
+from repro.share.mask import (
+    NONVM_SYNC_BITS,
+    PR_SALL,
+    PR_SDIR,
+    PR_SID,
+    PR_SULIMIT,
+    PR_SUMASK,
+)
+from repro.sim.effects import kdelay
+
+#: resource bits privatized by dropping mask+sync bits alone — their
+#: authoritative values already live per-process in the u-area
+MISC_BITS = PR_SULIMIT | PR_SUMASK | PR_SDIR | PR_SID
+
+
+def validate_mask(value: int) -> None:
+    """Reject mask arguments with bits outside the PR_SALL range.
+
+    ``PR_PRIVDATA`` (a creation-time modifier) and any undefined high
+    bits are EINVAL rather than a silent no-op clear.
+    """
+    if value & ~PR_SALL:
+        raise SysError(
+            EINVAL, "unshare mask %#x has bits outside PR_SALL" % value
+        )
+
+
+def copy_out_fds(kernel, proc, staged):
+    """Generator: stage a private descriptor table, slot by slot.
+
+    Each copied slot takes its own reference, so the staged table is
+    self-contained from the first entry on — ``staged['fds']`` is set
+    *before* the loop so a mid-copy failure unwinds the partial table.
+    """
+    table = proc.uarea.fdtable
+    fresh = FDTable(len(table.slots))
+    fresh.inject = table.inject
+    staged["fds"] = fresh
+    copied = 0
+    for fd, slot in enumerate(table.slots):
+        if slot is None:
+            continue
+        if kernel.fail("unshare.fds"):
+            raise SysError(ENOMEM, "injected: private fd table slot")
+        fresh.slots[fd] = slot.hold()
+        copied += 1
+    yield kdelay(kernel.costs.resource_sync + copied)
+    kernel.kstat.add("kernel", 0, "unshare_fds_copied", copied)
+
+
+def copy_out_aspace(kernel, proc, staged):
+    """Generator: stage a private address space (update lock held).
+
+    Every shared pregion is cloned copy-on-write; shared pregions that a
+    private pregion already shadows (the ``PR_PRIVDATA`` case) are
+    skipped — the private copy wins, as it does in the fault path.
+    """
+    if kernel.fail("unshare.aspace"):
+        raise SysError(ENOMEM, "injected: private address space allocation")
+    shared = proc.vm.shared
+    vm = AddressSpace(kernel.machine)
+    # Continue carving where the group's cursors left off, the same way
+    # dup_cow seeds a fork child from a sharing parent.
+    vm.stack_max_bytes = shared.stack_max_bytes
+    vm._next_stack_index = shared._next_stack_index
+    vm._next_map_base = shared._next_map_base
+    staged["vm"] = vm
+    privates = list(proc.vm.private)
+    costs = kernel.costs
+    copied = 0
+    for pregion in list(shared.pregions):
+        if any(p.overlaps(pregion.vlow, pregion.vhigh) for p in privates):
+            continue
+        if kernel.fail("unshare.pregion"):
+            raise SysError(ENOMEM, "injected: pregion copy-out")
+        clone_region = pregion.region.dup_cow()
+        clone = Pregion(
+            clone_region, pregion.vbase, pregion.prot,
+            pregion.growth, pregion.max_pages,
+        )
+        vm.attach_private(clone)
+        copied += 1
+        yield kdelay(
+            costs.pregion_dup
+            + costs.pt_copy_per_page * pregion.region.resident_pages()
+        )
+    kernel.kstat.add("kernel", 0, "unshare_pregions_copied", copied)
+
+
+def commit_unshare(kernel, proc, drop: int, staged) -> None:
+    """Host-atomic commit: install the staged structures, clear the bits.
+
+    No yields — a commit can never be half observed by another member.
+    """
+    vm = staged["vm"]
+    if vm is not None:
+        # The full-ASID shootdown just before this commit purged the
+        # group-ASID translations on every CPU, so swapping spaces here
+        # needs no extra flush: first touch refills under the new ASID.
+        keep = list(proc.vm.private)
+        proc.vm.private = []  # clears owner backrefs before the move
+        for pregion in keep:
+            vm.attach_private(pregion, allow_shadow=True)
+        proc.vm = vm
+    fresh = staged["fds"]
+    if fresh is not None:
+        old = proc.uarea.fdtable.close_all()
+        proc.uarea.fdtable = fresh
+        for file in old:
+            kernel.dispose_file(file)
+    for pr_bit, sync_bit in NONVM_SYNC_BITS.items():
+        if drop & pr_bit:
+            proc.p_flag &= ~sync_bit
+    proc.p_shmask &= ~drop

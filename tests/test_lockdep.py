@@ -175,6 +175,72 @@ def test_release_anonymous_credits_recorded_holder():
 
 
 # ----------------------------------------------------------------------
+# the unshare copy-out lock order, pinned
+
+
+def test_unshare_copyout_lock_order_pinned():
+    """``do_unshare`` nests s_fupdsema -> vm update lock -> s_listlock;
+    record that chain, then prove the checker rejects the reversal —
+    any future copy-out path taking these locks the other way is a
+    deadlock candidate and must fail this test."""
+    dep = _dep()
+    fupd = _Lock("shaddr.fupd")
+    vm = _Lock("shaddr.vm")
+    listlock = _Lock("shaddr.list")
+    ctx = _Ctx(1)
+    dep.attempt(fupd, ctx, "sema")
+    dep.acquired(fupd, ctx, "sema")
+    dep.attempt(vm, ctx, "update")
+    dep.acquired(vm, ctx, "update")
+    dep.attempt(listlock, ctx, "spin")
+    dep.acquired(listlock, ctx, "spin")
+    dep.released(listlock, ctx)
+    dep.released(vm, ctx)
+    dep.released(fupd, ctx)
+    assert ("shaddr.fupd", "shaddr.vm") in dep.edges()
+    assert ("shaddr.vm", "shaddr.list") in dep.edges()
+
+    other = _Ctx(2)
+    dep.attempt(vm, other, "update")
+    dep.acquired(vm, other, "update")
+    with pytest.raises(LockOrderViolation) as caught:
+        dep.attempt(fupd, other, "sema")
+    assert caught.value.kind == "order-inversion"
+    rendered = str(caught.value)
+    assert "shaddr.fupd" in rendered and "shaddr.vm" in rendered
+
+
+def test_unshare_workload_clean_under_lockdep():
+    """A full lifecycle — fds, then the address space, then departure —
+    exercises the real copy-out nesting without a single violation."""
+    from repro import O_CREAT, O_RDWR, PR_SADDR, PR_SFDS, PR_UNSHARE
+
+    def member(api, base):
+        fd = yield from api.open("/ul", O_RDWR | O_CREAT)
+        yield from api.prctl(PR_UNSHARE, PR_SFDS)
+        yield from api.close(fd)
+        yield from api.store_word(base, 11)
+        yield from api.prctl(PR_UNSHARE, PR_SADDR)
+        yield from api.store_word(base, 22)
+        yield from api.prctl(PR_UNSHARE, PR_SALL)
+        return 0
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        for _ in range(2):
+            yield from api.sproc(member, PR_SALL, base)
+        for _ in range(2):
+            yield from api.wait()
+        out["shared"] = yield from api.load_word(base)
+        return 0
+
+    out, sim = run_program(main, ncpus=2, lockdep=True)
+    assert out["shared"] == 11, "post-detach stores stayed private"
+    assert sim.lockdep.violations == []
+    assert sim.lockdep.checks > 0
+
+
+# ----------------------------------------------------------------------
 # end to end: a guest program trips the checker
 
 

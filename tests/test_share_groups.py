@@ -583,3 +583,115 @@ def test_fork_from_group_gets_cow_of_shared_regions():
     out, _ = run_program(main)
     assert out["fork_ok"]
     assert out["after"] == 5, "forked child's write must stay private"
+
+
+# ----------------------------------------------------------------------
+# PR_BLOCKGRP / PR_UNBLKGRP racing exits and unshares: the
+# other_members snapshot may name procs that are no longer live members
+
+
+def test_blockgrp_tolerates_exited_and_detached_members(monkeypatch):
+    """Force the stale-snapshot race deterministically: other_members
+    hands back a reaped member and one that unshared itself out of the
+    group.  Both must be skipped — blocking a non-member (or erroring on
+    a dead pid) would be wrong — while the real member still blocks."""
+    from repro.share.prctl import PR_BLOCKGRP, PR_UNBLKGRP
+    from repro.share.shaddr import SharedAddressBlock
+
+    stale = {}
+    probes = {}
+    original = SharedAddressBlock.other_members
+
+    def with_stale(self, proc):
+        members = original(self, proc)
+        members.extend(
+            p for p in stale.values() if p is not None and p is not proc
+        )
+        return members
+
+    monkeypatch.setattr(SharedAddressBlock, "other_members", with_stale)
+
+    def quick_exit(api, arg):
+        stale["dead"] = api.proc
+        yield from api.getpid()
+        return 0
+
+    def detacher(api, arg):
+        done_w, park_r = arg
+        stale["detached"] = api.proc
+        yield from api.prctl(PR_UNSHARE, PR_SALL)  # leaves the group
+        yield from api.write(done_w, b"d")
+        yield from api.read(park_r, 1)  # alive and groupless while parked
+        return 0
+
+    def parked(api, base):
+        probes["parked"] = api.proc
+        while True:
+            value = yield from api.load_word(base)
+            if value:
+                return 0
+            yield from api.yield_cpu()
+
+    def main(api, out):
+        base = yield from api.mmap(4096)
+        done = yield from api.pipe()
+        park = yield from api.pipe()
+        yield from api.sproc(quick_exit, PR_SALL)
+        yield from api.wait()  # reap: the proc-table entry is gone
+        yield from api.sproc(parked, PR_SALL, base)
+        yield from api.sproc(detacher, PR_SALL, (done[1], park[0]))
+        yield from api.read(done[0], 1)  # detacher has left the group
+        out["rc_block"] = yield from api.prctl(PR_BLOCKGRP)
+        out["parked_bc"] = probes["parked"].block_count
+        out["detached_bc"] = stale["detached"].block_count
+        out["rc_unblock"] = yield from api.prctl(PR_UNBLKGRP)
+        yield from api.store_word(base, 1)  # release the parked member
+        yield from api.write(park[1], b"g")  # release the detacher
+        yield from api.wait()
+        yield from api.wait()
+        return 0
+
+    out, sim = run_program(main, ncpus=2)
+    assert out["rc_block"] == 0, "stale snapshot entries must not error"
+    assert out["rc_unblock"] == 0
+    assert out["parked_bc"] == -1, "the live member really was blocked"
+    assert out["detached_bc"] == 0, "a detached proc must never be blocked"
+    assert stale["dead"].block_count == 0
+
+
+def test_blockgrp_races_member_exit_and_unshare_live():
+    """Members exit and unshare concurrently with repeated block/unblock
+    sweeps; every sweep must complete cleanly regardless of timing."""
+    from repro.share.prctl import PR_BLOCKGRP, PR_UNBLKGRP
+
+    def short_lived(api, arg):
+        yield from api.compute(500)
+        return 0
+
+    def self_unsharer(api, arg):
+        yield from api.compute(200)
+        yield from api.prctl(PR_UNSHARE, PR_SALL)
+        yield from api.compute(200)
+        return 0
+
+    def main(api, out):
+        started = 0
+        for entry in (short_lived, short_lived, self_unsharer, self_unsharer):
+            pid = yield from api.sproc(entry, PR_SALL)
+            if pid != -1:
+                started += 1
+        rcs = []
+        for _ in range(6):
+            rc = yield from api.prctl(PR_BLOCKGRP)
+            rcs.append(rc)
+            rc = yield from api.prctl(PR_UNBLKGRP)
+            rcs.append(rc)
+            yield from api.yield_cpu()
+        for _ in range(started):
+            yield from api.wait()
+        out["rcs"] = rcs
+        return 0
+
+    out, sim = run_program(main, ncpus=2, lockdep=True)
+    assert out["rcs"] == [0] * 12
+    assert sim.lockdep.violations == []
