@@ -33,8 +33,12 @@ only ``--metric`` on the ``--gate`` row decides pass/fail.
         --metric scan_per_fault --threshold 0.25
 
 ``--host`` compares two BENCH_HOST.json files on
-``sim_cycles_per_host_sec`` instead (direction: higher is better), with
-a generous default threshold because shared CI runners are noisy:
+``sim_cycles_per_host_sec`` instead (direction: higher is better) and,
+when either side carries inline-continuation counters
+(``inline_hops``/``inline_fallbacks``), reports the hit-rate telemetry
+next to the headline rate.  The default threshold (0.35) tolerates
+shared-runner noise but not a real regression of the direct-run
+dispatch work:
 
     python benchmarks/compare_bench.py --host \
         --previous prev-bench/BENCH_HOST.json \
@@ -146,6 +150,21 @@ def _gate_threshold(gate, metric, before, after, threshold, direction) -> int:
     return 1 if worse else 0
 
 
+def _inline_line(label, summary):
+    """One side's inline-continuation telemetry, or None if absent."""
+    counters = summary.get("counters", {})
+    hops = counters.get("inline_hops", 0)
+    fallbacks = counters.get("inline_fallbacks", 0)
+    if not hops and not fallbacks:
+        return None
+    events = summary.get("events", 0)
+    rate = 100.0 * hops / events if events else 0.0
+    return "  %-9s %s hops, %s fallbacks, %.1f%% of %s events inline" % (
+        label, "{:,}".format(hops), "{:,}".format(fallbacks), rate,
+        "{:,}".format(events),
+    )
+
+
 def _compare_host(args) -> int:
     with open(args.previous) as handle:
         prev = json.load(handle)
@@ -162,6 +181,15 @@ def _compare_host(args) -> int:
         % (before, after,
            prev.get("wall_seconds", 0.0), cur.get("wall_seconds", 0.0))
     )
+    inline = [
+        line
+        for line in (_inline_line("baseline", prev), _inline_line("candidate", cur))
+        if line is not None
+    ]
+    if inline:
+        print("inline dispatch:")
+        for line in inline:
+            print(line)
     return _gate_threshold("host", "sim_cycles_per_host_sec",
                            before, after, args.threshold, "higher")
 
@@ -179,13 +207,16 @@ def main(argv=None) -> int:
                         help="which way is better for --metric")
     parser.add_argument("--threshold", type=float, default=None,
                         help="allowed relative change when no CIs "
-                             "(default 0.25; 0.5 with --host)")
+                             "(default 0.25; 0.35 with --host)")
     parser.add_argument("--host", action="store_true",
                         help="compare two BENCH_HOST.json files on "
                              "sim_cycles_per_host_sec (higher is better)")
     args = parser.parse_args(argv)
+    # --host re-baselined after the direct-run dispatch work: the rate
+    # is high enough now that 0.35 clears runner noise while catching a
+    # real fast-path regression (0.5 let half the win evaporate silently)
     if args.threshold is None:
-        args.threshold = 0.5 if args.host else 0.25
+        args.threshold = 0.35 if args.host else 0.25
 
     if not os.path.exists(args.current):
         print("candidate result %s missing" % args.current, file=sys.stderr)

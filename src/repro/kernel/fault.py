@@ -32,6 +32,12 @@ def _words(nbytes: int) -> int:
 class FaultMixin:
     """Kernel methods for translating and touching user memory."""
 
+    #: lazily interned Delay for a one-word user access — the cost is a
+    #: constant of the cost model, so the hottest guest operations
+    #: (load_word/store_word) skip both the arithmetic and the cache
+    #: lookup in :func:`udelay`
+    _word_delay = None
+
     # ------------------------------------------------------------------
     # the central translate-or-fault path
 
@@ -45,8 +51,15 @@ class FaultMixin:
         followed by ``vm_handle(..., prelooked=True)`` so the probe is
         not re-counted.
         """
-        entry = proc.cpu.tlb.lookup(proc.vm.asid, vaddr >> PAGE_SHIFT)
-        if entry is not None and (not write or entry.writable):
+        # open-coded TLB.lookup (same statistics): this probe runs on
+        # every user load/store, so the extra call layer shows up
+        tlb = proc.cpu.tlb
+        entry = tlb._entries.get((proc.vm.asid, vaddr >> PAGE_SHIFT))
+        if entry is None:
+            tlb.misses += 1
+            return None
+        tlb.hits += 1
+        if not write or entry.writable:
             return self.machine.frames.get(entry.pfn)
         return None
 
@@ -296,7 +309,23 @@ class FaultMixin:
     # user-mode memory operations (the program's loads and stores)
 
     def user_read(self, proc, vaddr: int, nbytes: int):
-        """Generator: a user-mode load of ``nbytes`` (may span pages)."""
+        """Generator: a user-mode load of ``nbytes`` (may span pages).
+
+        The within-one-page case — almost every access — skips the
+        span loop and the bytearray staging; cost and TLB accounting
+        are identical either way.
+        """
+        offset = vaddr & PAGE_MASK
+        if 0 < nbytes <= PAGE_SIZE - offset:
+            yield udelay(
+                self.costs.mem_access + self.costs.mem_per_word * _words(nbytes)
+            )
+            frame = self.vm_hit(proc, vaddr, False)
+            if frame is None:
+                frame = yield from self.vm_handle(
+                    proc, vaddr, write=False, user=True, prelooked=True
+                )
+            return bytes(frame.data[offset:offset + nbytes])
         out = bytearray()
         addr = vaddr
         remaining = nbytes
@@ -315,7 +344,20 @@ class FaultMixin:
         return bytes(out)
 
     def user_write(self, proc, vaddr: int, payload: bytes):
-        """Generator: a user-mode store."""
+        """Generator: a user-mode store (single-page fast path as above)."""
+        nbytes = len(payload)
+        offset = vaddr & PAGE_MASK
+        if 0 < nbytes <= PAGE_SIZE - offset:
+            yield udelay(
+                self.costs.mem_access + self.costs.mem_per_word * _words(nbytes)
+            )
+            frame = self.vm_hit(proc, vaddr, True)
+            if frame is None:
+                frame = yield from self.vm_handle(
+                    proc, vaddr, write=True, user=True, prelooked=True
+                )
+            frame.data[offset:offset + nbytes] = payload
+            return nbytes
         addr = vaddr
         index = 0
         while index < len(payload):
@@ -333,12 +375,51 @@ class FaultMixin:
         return len(payload)
 
     def user_load_word(self, proc, vaddr: int):
-        """Generator: load an aligned 32-bit little-endian word."""
-        raw = yield from self.user_read(proc, vaddr, 4)
-        return int.from_bytes(raw, "little")
+        """Generator: load an aligned 32-bit little-endian word.
+
+        Single-page direct path in the :meth:`user_cas` idiom — same
+        charged cost and same TLB accounting as ``user_read(.., 4)``,
+        without the span loop, the bytearray staging or the extra
+        generator frame.  A page-straddling (misaligned) word falls
+        back to the general path.
+        """
+        offset = vaddr & PAGE_MASK
+        if offset > PAGE_SIZE - 4:
+            raw = yield from self.user_read(proc, vaddr, 4)
+            return int.from_bytes(raw, "little")
+        delay = self._word_delay
+        if delay is None:
+            delay = self._word_delay = udelay(
+                self.costs.mem_access + self.costs.mem_per_word
+            )
+        yield delay
+        frame = self.vm_hit(proc, vaddr, False)
+        if frame is None:
+            frame = yield from self.vm_handle(
+                proc, vaddr, write=False, user=True, prelooked=True
+            )
+        return int.from_bytes(frame.data[offset:offset + 4], "little")
 
     def user_store_word(self, proc, vaddr: int, value: int):
-        yield from self.user_write(proc, vaddr, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+        """Generator: store an aligned 32-bit little-endian word."""
+        offset = vaddr & PAGE_MASK
+        if offset > PAGE_SIZE - 4:
+            yield from self.user_write(
+                proc, vaddr, (value & 0xFFFFFFFF).to_bytes(4, "little")
+            )
+            return
+        delay = self._word_delay
+        if delay is None:
+            delay = self._word_delay = udelay(
+                self.costs.mem_access + self.costs.mem_per_word
+            )
+        yield delay
+        frame = self.vm_hit(proc, vaddr, True)
+        if frame is None:
+            frame = yield from self.vm_handle(
+                proc, vaddr, write=True, user=True, prelooked=True
+            )
+        frame.data[offset:offset + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
 
     def user_cas(self, proc, vaddr: int, expected: int, new: int):
         """Generator: atomic compare-and-swap on a 32-bit word.

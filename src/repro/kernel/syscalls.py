@@ -41,8 +41,11 @@ class UserAPI:
     # plumbing
 
     def _call(self, handler):
-        result = yield from self.kernel.syscall(self.proc, handler)
-        return result
+        # Returns the trampoline generator directly rather than
+        # wrapping it in ``yield from``: the caller's ``yield from``
+        # delegates to it identically, and every effect it yields
+        # traverses one generator frame fewer on the host.
+        return self.kernel.syscall(self.proc, handler)
 
     # ------------------------------------------------------------------
     # user-mode instructions (no kernel entry unless they fault)
@@ -55,30 +58,30 @@ class UserAPI:
         """Voluntarily give up the processor."""
         yield Yield()
 
+    # The memory instructions hand back the kernel generator directly
+    # (no wrapper frame): ``yield from`` delegation and the returned
+    # value are identical either way, and the hot load/store paths are
+    # one frame shallower per effect on the host.
+
     def load(self, vaddr: int, nbytes: int):
-        data = yield from self.kernel.user_read(self.proc, vaddr, nbytes)
-        return data
+        return self.kernel.user_read(self.proc, vaddr, nbytes)
 
     def store(self, vaddr: int, payload: bytes):
-        count = yield from self.kernel.user_write(self.proc, vaddr, payload)
-        return count
+        return self.kernel.user_write(self.proc, vaddr, payload)
 
     def load_word(self, vaddr: int):
-        value = yield from self.kernel.user_load_word(self.proc, vaddr)
-        return value
+        return self.kernel.user_load_word(self.proc, vaddr)
 
     def store_word(self, vaddr: int, value: int):
-        yield from self.kernel.user_store_word(self.proc, vaddr, value)
+        return self.kernel.user_store_word(self.proc, vaddr, value)
 
     def cas(self, vaddr: int, expected: int, new: int):
         """Atomic compare-and-swap; returns the observed value."""
-        old = yield from self.kernel.user_cas(self.proc, vaddr, expected, new)
-        return old
+        return self.kernel.user_cas(self.proc, vaddr, expected, new)
 
     def fetch_add(self, vaddr: int, delta: int):
         """Atomic fetch-and-add; returns the previous value."""
-        old = yield from self.kernel.user_fetch_add(self.proc, vaddr, delta)
-        return old
+        return self.kernel.user_fetch_add(self.proc, vaddr, delta)
 
     def errno(self):
         """Read errno from the PRDA (a user-mode load, as in the paper)."""

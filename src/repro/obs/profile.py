@@ -44,6 +44,7 @@ from typing import Dict, List, Optional
 #: phase names used by the built-in hooks (docs + report ordering)
 KNOWN_PHASES = (
     "engine.loop",    # heap pops, event bookkeeping, callback overhead
+    "engine.inline",  # inline-continuation bursts (trampoline-elided hops)
     "cpu.interp",     # generator resume + effect interpretation
     "fault.resolve",  # pregion-list walk on a TLB refill
     "obs.kstat",      # kstat counter/gauge/histogram hooks
@@ -61,8 +62,8 @@ class HostProfiler:
     """
 
     __slots__ = (
-        "enabled", "seconds", "hits", "wall_seconds", "sim_cycles",
-        "events", "runs", "_clock", "_stack", "_last",
+        "enabled", "seconds", "hits", "counters", "wall_seconds",
+        "sim_cycles", "events", "runs", "_clock", "_stack", "_last",
         "_run_wall0", "_run_cycles0", "_run_events0",
     )
 
@@ -72,6 +73,7 @@ class HostProfiler:
         self._clock = clock
         self.seconds: Dict[str, float] = {}   #: phase -> exclusive host s
         self.hits: Dict[str, int] = {}        #: phase -> enter count
+        self.counters: Dict[str, int] = {}    #: named event counts
         self.wall_seconds = 0.0               #: total time inside Engine.run
         self.sim_cycles = 0                   #: cycles advanced while profiled
         self.events = 0                       #: engine events while profiled
@@ -92,21 +94,28 @@ class HostProfiler:
         """Enter a stack phase; time since the last transition goes to
         the enclosing phase."""
         now = self._clock()
-        if self._last is not None and self._stack:
-            top = self._stack[-1]
-            self.seconds[top] = self.seconds.get(top, 0.0) + (now - self._last)
-        self._stack.append(phase)
-        self.hits[phase] = self.hits.get(phase, 0) + 1
+        stack = self._stack
+        last = self._last
+        if last is not None and stack:
+            top = stack[-1]
+            seconds = self.seconds
+            seconds[top] = seconds.get(top, 0.0) + (now - last)
+        stack.append(phase)
+        hits = self.hits
+        hits[phase] = hits.get(phase, 0) + 1
         self._last = now
 
     def pop(self) -> None:
         """Leave the current stack phase, crediting it."""
         now = self._clock()
-        if self._last is not None:
-            top = self._stack[-1]
-            self.seconds[top] = self.seconds.get(top, 0.0) + (now - self._last)
-        self._stack.pop()
-        self._last = now if self._stack else None
+        stack = self._stack
+        last = self._last
+        if last is not None:
+            top = stack[-1]
+            seconds = self.seconds
+            seconds[top] = seconds.get(top, 0.0) + (now - last)
+        stack.pop()
+        self._last = now if stack else None
 
     def leaf(self, phase: str, t0: float) -> None:
         """Credit a leaf phase that began at ``t0`` (from :meth:`clock`).
@@ -121,6 +130,16 @@ class HostProfiler:
             self._last = now
         self.seconds[phase] = self.seconds.get(phase, 0.0) + (now - t0)
         self.hits[phase] = self.hits.get(phase, 0) + 1
+
+    def count(self, name: str, n: int) -> None:
+        """Accumulate a named occurrence counter (no timing attached).
+
+        Used for fast-path hit-rate telemetry — e.g. ``inline_hops`` /
+        ``inline_fallbacks`` from the engine's inline-continuation slot —
+        where the interesting number is *how often*, not *how long*.
+        """
+        if n:
+            self.counters[name] = self.counters.get(name, 0) + n
 
     # ------------------------------------------------------------------
     # Engine.run session bracketing
@@ -155,6 +174,7 @@ class HostProfiler:
                        "hits": self.hits.get(name, 0)}
                 for name in sorted(set(self.seconds) | set(self.hits))
             },
+            "counters": dict(self.counters),
             "wall_seconds": self.wall_seconds,
             "sim_cycles": self.sim_cycles,
             "events": self.events,
@@ -188,6 +208,9 @@ class NullProfiler:
         pass
 
     def leaf(self, phase: str, t0: float) -> None:  # pragma: no cover
+        pass
+
+    def count(self, name: str, n: int) -> None:  # pragma: no cover
         pass
 
     def run_begin(self, cycles: int, events: int) -> None:  # pragma: no cover
@@ -228,6 +251,7 @@ class ProfileSession:
 
     def merged(self) -> dict:
         phases: Dict[str, Dict[str, float]] = {}
+        counters: Dict[str, int] = {}
         wall = 0.0
         cycles = 0
         events = 0
@@ -245,8 +269,11 @@ class ProfileSession:
                 slot = phases.setdefault(name, {"seconds": 0.0, "hits": 0})
                 slot["seconds"] += row.get("seconds", 0.0)
                 slot["hits"] += row.get("hits", 0)
+            for name, value in summary.get("counters", {}).items():
+                counters[name] = counters.get(name, 0) + value
         return {
             "phases": {name: phases[name] for name in sorted(phases)},
+            "counters": {name: counters[name] for name in sorted(counters)},
             "wall_seconds": wall,
             "sim_cycles": cycles,
             "events": events,
@@ -275,6 +302,28 @@ class ProfileSession:
                 % (name, row["seconds"], "{:,}".format(row["hits"]),
                    100.0 * share)
             )
+        counters = merged.get("counters", {})
+        if counters:
+            lines.append(
+                "counters: "
+                + "  ".join(
+                    "%s=%s" % (name, "{:,}".format(counters[name]))
+                    for name in sorted(counters)
+                )
+            )
+            hops = counters.get("inline_hops", 0)
+            fallbacks = counters.get("inline_fallbacks", 0)
+            if hops or fallbacks:
+                lines.append(
+                    "inline hit rate: %.1f%% (%s hops, %s fallbacks, "
+                    "%s queued events)"
+                    % (
+                        100.0 * hops / max(1, merged["events"]),
+                        "{:,}".format(hops),
+                        "{:,}".format(fallbacks),
+                        "{:,}".format(merged["events"] - hops),
+                    )
+                )
         lines.append(
             "sim cycles %s in %.3f host-s -> %s cycles/host-sec "
             "(%s events)"

@@ -12,10 +12,13 @@ boundary the CPU lets the kernel deliver pending signals and honors
 preemption requests; kernel-mode execution is never preempted, which is
 the classic System V invariant the paper leans on (section 6).
 
-The steady-state hop between ``_resume`` and ``_boundary`` goes through
-``engine.schedule_call`` with the callables prebound in ``__init__``, so
-an interpreter step allocates nothing but the engine's ``Event`` — no
-closures, no fresh bound methods (see ``docs/INTERNALS.md`` §14).
+The steady-state hop between ``_resume`` and ``_boundary`` uses the
+engine's inline-continuation slot (``engine.resched_inline``) with the
+callables prebound in ``__init__``: when the hop is the strictly next
+event on the timeline the engine fires it directly — no Event, no queue
+traffic, no closures (see ``docs/INTERNALS.md`` §14 and §17).  Paths
+that need a cancellable handle or follow anything other than the
+straight-line interpreter hop stay on ``engine.schedule_call``.
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ class CPU:
     __slots__ = (
         "idx", "machine", "engine", "costs", "kstat", "profile", "tlb",
         "current", "kernel", "dispatcher", "_last_asid", "_label",
-        "_resume_cb", "_boundary_cb", "_dispatch_cb",
+        "_resume_cb", "_boundary_cb", "_dispatch_cb", "_resched",
         "busy_cycles", "switches", "dispatches", "preemptions",
     )
 
@@ -64,6 +67,10 @@ class CPU:
             self._resume_cb = self._resume
         self._boundary_cb = self._boundary
         self._dispatch_cb = self._dispatch_boundary
+        # the trampoline-eliding hop for steady-state resumes; under the
+        # naive-loop ablation it degrades to schedule_call inside the
+        # engine, so call sites never need to know the mode
+        self._resched = machine.engine.resched_inline
         # statistics
         self.busy_cycles = 0
         self.switches = 0
@@ -179,7 +186,7 @@ class CPU:
                 self._user_delay(proc, cycles)
             else:
                 self.busy_cycles += cycles
-                self.engine.schedule_call(cycles, self._resume_cb, None)
+                self._resched(cycles, self._resume_cb, None)
             return
         self._interpret(proc, effect)
 
@@ -201,7 +208,7 @@ class CPU:
                 self._user_delay(proc, effect.cycles)
             else:
                 self.busy_cycles += effect.cycles
-                self.engine.schedule_call(effect.cycles, self._resume_cb, None)
+                self._resched(effect.cycles, self._resume_cb, None)
             return
         if type(effect) is Block:
             self._deschedule(proc)
@@ -229,23 +236,35 @@ class CPU:
         interrupted computation's remainder.
         """
         quantum_left = proc.quantum_left
-        chunk = min(cycles, quantum_left if quantum_left > 1 else 1)
+        cap = quantum_left if quantum_left > 1 else 1
+        chunk = cycles if cycles < cap else cap
         proc.quantum_left = quantum_left - chunk
         remaining = cycles - chunk
         self.busy_cycles += chunk
+        # The hop to the chunk boundary is inline-eligible: _boundary
+        # itself still performs signal delivery and preemption checks,
+        # so eliding the queue round-trip is semantically invisible.
         if remaining > 0:
-            self.engine.schedule_call(
-                chunk, self._boundary_cb, _ContinueDelay(remaining)
-            )
+            self._resched(chunk, self._boundary_cb, _ContinueDelay(remaining))
         else:
-            self.engine.schedule_call(chunk, self._boundary_cb, None)
+            self._resched(chunk, self._boundary_cb, None)
 
     def _boundary(self, resume_value) -> None:
         """A user-mode boundary: deliver signals, honor preemption, resume."""
         proc = self.current
         if proc is None:
             raise SimulationError("CPU%d boundary with no current proc" % self.idx)
-        delivery = self.kernel.user_boundary(proc) if self.kernel is not None else None
+        # Common-case precheck mirroring Kernel.user_boundary's early
+        # returns: user mode, not blocked, nothing pending — delivery
+        # cannot happen, so skip the call on the steady-state hop.
+        # (proc.pending._pending: the raw set, skipping __bool__ dispatch
+        # on a check that runs every user-mode chunk)
+        if self.kernel is not None and not proc.in_kernel and (
+            proc.block_count < 0 or proc.pending._pending
+        ):
+            delivery = self.kernel.user_boundary(proc)
+        else:
+            delivery = None
         if delivery is not None:
             proc.saved_resume.append(resume_value)
             proc.frames.append(delivery)

@@ -76,13 +76,14 @@ class ExecImage(Exception):
         super().__init__("exec image replacement")
 
 
-#: interned kernel delays — the cost model yields a small, heavily reused
-#: set of cycle values, so the steady state allocates no Delay at all.
-#: Delay instances are immutable by convention (the interpreter only
-#: reads them), which is what makes sharing safe.  Bounded so pathological
-#: computed costs cannot grow it without limit.
+#: interned delays — the cost model yields a small, heavily reused set of
+#: cycle values, so the steady state allocates no Delay at all.  Delay
+#: instances are immutable by convention (the interpreter only reads
+#: them), which is what makes sharing safe.  Both caches share one bound
+#: so pathological computed costs cannot grow either without limit.
+_DELAY_CACHE_MAX = 4096
+
 _KDELAY_CACHE: dict = {}
-_KDELAY_CACHE_MAX = 4096
 
 
 def kdelay(cycles: int) -> Delay:
@@ -90,7 +91,7 @@ def kdelay(cycles: int) -> Delay:
     delay = _KDELAY_CACHE.get(cycles)
     if delay is None:
         delay = Delay(cycles, user=False)
-        if len(_KDELAY_CACHE) < _KDELAY_CACHE_MAX:
+        if len(_KDELAY_CACHE) < _DELAY_CACHE_MAX:
             _KDELAY_CACHE[cycles] = delay
     return delay
 
@@ -103,6 +104,6 @@ def udelay(cycles: int) -> Delay:
     delay = _UDELAY_CACHE.get(cycles)
     if delay is None:
         delay = Delay(cycles, user=True)
-        if len(_UDELAY_CACHE) < _KDELAY_CACHE_MAX:
+        if len(_UDELAY_CACHE) < _DELAY_CACHE_MAX:
             _UDELAY_CACHE[cycles] = delay
     return delay

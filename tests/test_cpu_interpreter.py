@@ -235,3 +235,34 @@ def test_injected_exception_keeps_full_chain():
     assert "inj" in str(wrapper)
     assert isinstance(wrapper.__cause__, ValueError)
     assert wrapper.__cause__.__context__ is injected
+
+
+def test_delay_caches_share_one_bound():
+    """Both interning caches stop growing at the shared _DELAY_CACHE_MAX."""
+    from repro.sim import effects
+
+    saved_k = dict(effects._KDELAY_CACHE)
+    saved_u = dict(effects._UDELAY_CACHE)
+    try:
+        effects._KDELAY_CACHE.clear()
+        effects._UDELAY_CACHE.clear()
+        bound = effects._DELAY_CACHE_MAX
+        for make, cache, user in (
+            (effects.kdelay, effects._KDELAY_CACHE, False),
+            (effects.udelay, effects._UDELAY_CACHE, True),
+        ):
+            for cycles in range(bound + 50):
+                delay = make(cycles)
+                assert delay.cycles == cycles
+                assert delay.user is user
+            assert len(cache) == bound
+            # cached values intern; overflow values still work, uncached
+            assert make(1) is make(1)
+            overflow = bound + 10
+            assert make(overflow) is not make(overflow)
+            assert make(overflow).cycles == overflow
+    finally:
+        effects._KDELAY_CACHE.clear()
+        effects._KDELAY_CACHE.update(saved_k)
+        effects._UDELAY_CACHE.clear()
+        effects._UDELAY_CACHE.update(saved_u)

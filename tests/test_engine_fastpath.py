@@ -16,7 +16,13 @@ import pytest
 
 from repro import PR_SALL, System
 from repro.errors import SimulationError
-from repro.sim.engine import ENGINE_LOOP_MODES, Engine, default_engine_loop
+from repro.sim.engine import (
+    _INLINE_PARK_MAX,
+    ENGINE_LOOP_MODES,
+    ENGINE_QUEUE_MODES,
+    Engine,
+    default_engine_loop,
+)
 from repro.sim.trace import Tracer
 
 
@@ -158,6 +164,125 @@ def test_default_loop_reads_env(monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# the inline-continuation park (engine.resched_inline): trampoline-
+# eliding dispatch for the CPU's steady-state hops
+
+
+def test_resched_inline_fires_like_schedule_call():
+    eng = Engine(loop="fast")
+    got = []
+    eng.resched_inline(5, got.append, "hop")
+    assert eng.pending == 1
+    assert not eng.idle()
+    eng.run()
+    assert got == ["hop"]
+    assert eng.now == 5
+    assert eng.inline_hops == 1
+    assert eng.inline_fallbacks == 0
+    assert eng.events_processed == 1
+    assert eng.pending == 0
+    assert eng.idle()
+
+
+def test_inline_chain_advances_clock_without_queue_traffic():
+    eng = Engine(loop="fast")
+    ticks = []
+
+    def hop(token):
+        ticks.append(eng.now)
+        if len(ticks) < 5:
+            eng.resched_inline(3, hop, None)
+
+    eng.resched_inline(3, hop, None)
+    eng.run()
+    assert ticks == [3, 6, 9, 12, 15]
+    assert eng.inline_hops == 5
+    assert eng.events_processed == 5
+    assert len(eng._queue) == 0  # nothing ever touched the heap
+
+
+def test_parked_hop_waits_for_earlier_queued_event():
+    eng = Engine(loop="fast")
+    order = []
+    eng.schedule_call(3, order.append, "early-event")
+    eng.resched_inline(5, order.append, "hop")
+    eng.schedule_call(5, order.append, "tie-later")  # later seq than the hop
+    eng.run()
+    assert order == ["early-event", "hop", "tie-later"]
+    assert eng.inline_hops == 1
+    assert eng.inline_fallbacks == 0
+
+
+def test_park_tie_respects_reserved_seq():
+    # seq is reserved at park time, so a same-cycle tie resolves exactly
+    # as if the continuation had been queued: schedule order.
+    eng = Engine(loop="fast")
+    order = []
+    eng.schedule_call(5, order.append, "queued-first")
+    eng.resched_inline(5, order.append, "hop")
+    eng.schedule_call(5, order.append, "queued-last")
+    eng.run()
+    assert order == ["queued-first", "hop", "queued-last"]
+    assert eng.inline_hops == 1
+
+
+def test_until_leaves_parked_hops_parked():
+    eng = Engine(loop="fast")
+    got = []
+    eng.resched_inline(10, got.append, "hop")
+    eng.run(until=4)
+    assert eng.now == 4
+    assert got == []
+    assert eng.pending == 1  # still owed; pending counts parked hops
+    eng.run(until=10)  # boundary is inclusive: the hop is due, fires
+    assert got == ["hop"]
+    assert eng.now == 10
+    assert eng.idle()
+
+
+def test_step_fires_parked_hop():
+    eng = Engine(loop="fast")
+    got = []
+    eng.resched_inline(2, got.append, "hop")
+    assert eng.step() is True
+    assert got == ["hop"]
+    assert eng.step() is False
+
+
+def test_resched_inline_rejects_negative_delay():
+    eng = Engine(loop="fast")
+    with pytest.raises(SimulationError):
+        eng.resched_inline(-1, lambda token: None, None)
+
+
+def test_naive_loop_materializes_inline_fallbacks():
+    eng = Engine(loop="naive")
+    got = []
+    eng.resched_inline(5, got.append, "hop")
+    assert eng.inline_fallbacks == 1
+    assert eng.pending == 1
+    eng.run()
+    assert got == ["hop"]
+    assert eng.now == 5
+    assert eng.inline_hops == 0  # everything went through the queue
+
+
+def test_park_bound_demotes_to_real_events():
+    eng = Engine(loop="fast")
+    got = []
+    extra = 5
+    for i in range(_INLINE_PARK_MAX + extra):
+        eng.resched_inline(1, got.append, i)
+    assert eng.inline_fallbacks == extra
+    assert eng.pending == _INLINE_PARK_MAX + extra
+    eng.run()
+    # all at cycle 1: reserved seqs interleave parked and demoted hops
+    # in exact submission order
+    assert got == list(range(_INLINE_PARK_MAX + extra))
+    assert eng.inline_hops == _INLINE_PARK_MAX
+
+
+# ----------------------------------------------------------------------
 # cycle identity: the fast drain must be bit-identical to the naive
 # reference loop, kstats and chrome trace included, under perturbation
 
@@ -183,8 +308,8 @@ def _main(api, ctx):
     return 0
 
 
-def _fingerprint(loop, seed):
-    sim = System(ncpus=3, perturb_seed=seed, engine_loop=loop)
+def _fingerprint(loop, seed, queue="heap"):
+    sim = System(ncpus=3, perturb_seed=seed, engine_loop=loop, engine_queue=queue)
     tracer = Tracer.attach(sim.kernel, capacity=100_000)
     sim.spawn(_main, {})
     sim.run()
@@ -195,8 +320,13 @@ def _fingerprint(loop, seed):
 
 
 @pytest.mark.parametrize("seed", [None, 0, 3])
-def test_fast_and_naive_loops_are_cycle_identical(seed):
+def test_all_loop_queue_combos_are_cycle_identical(seed):
+    """{fast, naive} x {heap, wheel}: one fingerprint, four mechanisms."""
     assert set(ENGINE_LOOP_MODES) == {"fast", "naive"}
-    fast = _fingerprint("fast", seed)
-    naive = _fingerprint("naive", seed)
-    assert fast == naive
+    assert set(ENGINE_QUEUE_MODES) == {"heap", "wheel"}
+    prints = {
+        (loop, queue): _fingerprint(loop, seed, queue)
+        for loop in ENGINE_LOOP_MODES
+        for queue in ENGINE_QUEUE_MODES
+    }
+    assert len(set(prints.values())) == 1, prints

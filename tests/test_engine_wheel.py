@@ -1,0 +1,211 @@
+"""The calendar-queue event structure (``Engine(queue="wheel")``).
+
+The TimeWheel hashes entries into fixed-width buckets keyed by the
+*absolute* bucket id ``time // width`` and drains them in the same
+``(time, seq)`` total order the binary heap produces — that identity is
+what lets ``REPRO_ENGINE_QUEUE=wheel`` ride under the unchanged drain
+loops.  These tests pin the bucket layout, the lazy activation/merge
+machinery, and the Engine-level plumbing.
+"""
+
+import pytest
+
+from repro import System
+from repro.errors import SimulationError
+from repro.sim.engine import (
+    DEFAULT_WHEEL_WIDTH,
+    Engine,
+    Event,
+    TimeWheel,
+    default_engine_queue,
+)
+
+
+def _entry(time, seq):
+    return (time, seq, Event(time, seq, lambda: None))
+
+
+# ----------------------------------------------------------------------
+# TimeWheel unit behavior
+
+
+def test_bucket_ids_are_absolute_time_over_width():
+    wheel = TimeWheel(10)
+    wheel.push(*_entry(5, 1))
+    wheel.push(*_entry(105, 2))
+    wheel.push(*_entry(9, 3))
+    assert set(wheel._buckets) == {0, 10}
+    assert len(wheel) == 3
+
+
+def test_pops_follow_time_seq_total_order():
+    wheel = TimeWheel(8)
+    # scrambled submission across several windows, with a same-time tie
+    for time, seq in [(40, 4), (3, 1), (17, 3), (3, 2), (100, 5), (40, 6)]:
+        wheel.push(*_entry(time, seq))
+    popped = []
+    while True:
+        entry = wheel.pop()
+        if entry is None:
+            break
+        popped.append(entry[:2])
+    assert popped == [(3, 1), (3, 2), (17, 3), (40, 4), (40, 6), (100, 5)]
+    assert len(wheel) == 0
+
+
+def test_peek_is_stable_and_pop_removes_exactly_it():
+    wheel = TimeWheel(16)
+    wheel.push(*_entry(30, 2))
+    wheel.push(*_entry(7, 1))
+    assert wheel.peek()[:2] == (7, 1)
+    assert wheel.peek()[:2] == (7, 1)  # peek does not consume
+    assert wheel.pop()[:2] == (7, 1)
+    assert wheel.pop()[:2] == (30, 2)
+    assert wheel.pop() is None
+    assert wheel.peek() is None
+
+
+def test_earlier_bucket_pushed_after_activation_merges_in_front():
+    # activating bucket 5 must not hide a later push into bucket 1:
+    # peek re-activates and merges the earlier window ahead of the
+    # current drain remainder.
+    wheel = TimeWheel(10)
+    wheel.push(*_entry(50, 1))
+    assert wheel.peek()[:2] == (50, 1)  # bucket 5 is now the drain window
+    wheel.push(*_entry(12, 2))
+    assert wheel.peek()[:2] == (12, 2)
+    assert wheel.pop()[:2] == (12, 2)
+    assert wheel.pop()[:2] == (50, 1)
+
+
+def test_push_into_current_window_lands_sorted():
+    wheel = TimeWheel(100)
+    wheel.push(*_entry(10, 1))
+    wheel.push(*_entry(90, 2))
+    assert wheel.pop()[:2] == (10, 1)
+    # bucket 0 is the active window now; a push into it must slot
+    # between the consumed prefix and the remainder
+    wheel.push(*_entry(40, 3))
+    wheel.push(*_entry(95, 4))
+    assert wheel.pop()[:2] == (40, 3)
+    assert wheel.pop()[:2] == (90, 2)
+    assert wheel.pop()[:2] == (95, 4)
+
+
+def test_drain_prefix_is_trimmed():
+    # the consumed prefix is physically dropped once it is both large
+    # and the majority of the drain list, so a long run through one
+    # window does not retain every fired entry
+    wheel = TimeWheel(1 << 30)
+    total = 1200
+    for i in range(total):
+        wheel.push(*_entry(i, i + 1))
+    for i in range(total):
+        assert wheel.pop()[:2] == (i, i + 1)
+    assert len(wheel._drain) < total
+    assert len(wheel) == 0
+
+
+def test_compact_drops_cancelled_everywhere():
+    wheel = TimeWheel(10)
+    keep_a = _entry(5, 1)
+    dead_drain = _entry(6, 2)
+    keep_b = _entry(500, 3)
+    dead_bucket = _entry(505, 4)
+    for entry in (keep_a, dead_drain, keep_b, dead_bucket):
+        wheel.push(*entry)
+    assert wheel.peek()[:2] == (5, 1)  # activates bucket 0
+    dead_drain[2].cancelled = True
+    dead_bucket[2].cancelled = True
+    assert wheel.compact() == 2
+    assert len(wheel) == 2
+    assert wheel.pop()[:2] == (5, 1)
+    assert wheel.pop()[:2] == (500, 3)
+    assert wheel.pop() is None
+
+
+def test_width_must_be_positive():
+    with pytest.raises(SimulationError):
+        TimeWheel(0)
+    with pytest.raises(SimulationError):
+        Engine(queue="wheel", wheel_width=-4)
+
+
+# ----------------------------------------------------------------------
+# Engine plumbing
+
+
+def test_unknown_queue_mode_rejected():
+    with pytest.raises(SimulationError):
+        Engine(queue="ring")
+    # Machine validates config with ValueError, matching engine_loop
+    with pytest.raises(ValueError):
+        System(ncpus=1, engine_queue="ring")
+
+
+def test_default_queue_reads_env(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE_QUEUE", raising=False)
+    assert default_engine_queue() == "heap"
+    assert Engine().queue == "heap"
+    monkeypatch.setenv("REPRO_ENGINE_QUEUE", "wheel")
+    assert default_engine_queue() == "wheel"
+    eng = Engine()
+    assert eng.queue == "wheel"
+    assert eng._wheel is not None
+    assert eng._wheel.width == DEFAULT_WHEEL_WIDTH
+    monkeypatch.setenv("REPRO_ENGINE_QUEUE", "drum")
+    with pytest.raises(SimulationError):
+        default_engine_queue()
+
+
+def test_sparse_timeline_does_not_scan_empty_buckets():
+    eng = Engine(queue="wheel")
+    fired = []
+    eng.schedule(10_000_000, lambda: fired.append(eng.now))
+    eng.schedule(5, lambda: fired.append(eng.now))
+    eng.run()
+    assert fired == [5, 10_000_000]
+    assert eng.now == 10_000_000
+    # the 10M-cycle gap cost two buckets, not 10M/width of them
+    assert len(eng._wheel._buckets) == 0
+
+
+def test_zero_delay_child_fires_within_current_cycle():
+    eng = Engine(queue="wheel", wheel_width=8)
+    order = []
+
+    def first():
+        order.append("first")
+        eng.schedule(0, lambda: order.append("child"))
+
+    eng.schedule(1, first)
+    eng.schedule(2, lambda: order.append("second"))
+    eng.run()
+    assert order == ["first", "child", "second"]
+
+
+def test_cancel_storm_keeps_wheel_bounded():
+    eng = Engine(queue="wheel")
+    floor = eng.pending
+    for _ in range(50):
+        events = [eng.schedule(1000 + i, lambda: None) for i in range(100)]
+        for event in events:
+            event.cancel()
+        assert eng.pending == floor
+    # compaction must have reclaimed the 5000 dead entries
+    assert eng.queue_size() < 200
+
+
+def test_until_and_max_events_respected_under_wheel():
+    eng = Engine(queue="wheel", wheel_width=4)
+    fired = []
+    for delay in (2, 4, 6, 8):
+        eng.schedule_call(delay, fired.append, delay)
+    eng.run(until=5)
+    assert fired == [2, 4]
+    assert eng.now == 5
+    eng.run(max_events=1)
+    assert fired == [2, 4, 6]
+    eng.run()
+    assert fired == [2, 4, 6, 8]
+    assert eng.now == 8

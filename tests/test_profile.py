@@ -72,8 +72,58 @@ def test_null_profiler_is_disarmed_and_inert():
     NULL_PROFILER.push("x")
     NULL_PROFILER.pop()
     NULL_PROFILER.leaf("x", 0.0)
+    NULL_PROFILER.count("inline_hops", 7)
     NULL_PROFILER.run_begin(0, 0)
     NULL_PROFILER.run_end(9, 9)
+
+
+# ----------------------------------------------------------------------
+# named occurrence counters (inline-continuation hit-rate telemetry)
+
+
+def test_counters_accumulate_and_skip_zero_deltas():
+    prof = HostProfiler(clock=FakeClock())
+    prof.count("inline_hops", 3)
+    prof.count("inline_hops", 2)
+    prof.count("inline_fallbacks", 0)  # zero deltas leave no key behind
+    assert prof.counters == {"inline_hops": 5}
+    assert prof.summary()["counters"] == {"inline_hops": 5}
+
+
+def test_session_merges_counters_and_renders_hit_rate():
+    session = ProfileSession()
+    prof = HostProfiler(clock=FakeClock())
+    prof.run_begin(0, 0)
+    prof.run_end(1000, 100)
+    prof.count("inline_hops", 60)
+    prof.count("inline_fallbacks", 5)
+    session.add(prof)
+    session.absorb({
+        "phases": {},
+        "counters": {"inline_hops": 20},
+        "wall_seconds": 1.0,
+        "sim_cycles": 500,
+        "events": 100,
+        "runs": 1,
+    })
+    merged = session.merged()
+    assert merged["counters"] == {"inline_fallbacks": 5, "inline_hops": 80}
+    text = session.render()
+    assert "inline_hops=80" in text
+    assert "inline hit rate: 40.0%" in text  # 80 hops of 200 events
+
+
+def test_engine_inline_counters_reach_the_profiler():
+    prof = HostProfiler(clock=FakeClock())
+    from repro.sim.engine import Engine
+
+    eng = Engine(loop="fast")
+    eng.profile = prof
+    eng.resched_inline(5, lambda token: None, None)
+    eng.run()
+    assert eng.inline_hops == 1
+    assert prof.counters.get("inline_hops") == 1
+    assert "engine.inline" in prof.hits
 
 
 # ----------------------------------------------------------------------
